@@ -1,0 +1,547 @@
+//! Profile merging and derived metrics (the `hpcprof` role, §7.2).
+//!
+//! Merging thread profiles accumulates metric values but applies a
+//! *[min, max] reduction* to address ranges — the one customization the
+//! paper needed in HPCToolkit's profile merger.
+
+use numa_machine::DomainId;
+use numa_profiler::{
+    MetricSet, NumaProfile, RangeKey, RangeScope, RangeStat, VarId, LPI_THRESHOLD,
+};
+use numa_sampling::MechanismKind;
+use numa_sim::{FuncId, VarKind};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Whole-program derived metrics (§4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProgramAnalysis {
+    pub mechanism: MechanismKind,
+    /// Program-wide NUMA latency per instruction. Eq. 2 for mechanisms
+    /// whose samples carry latency and that sample the full instruction
+    /// stream (IBS); Eq. 3 for event-sampling mechanisms with a hardware
+    /// event counter (PEBS-LL); `None` when latency is unavailable (MRK,
+    /// PEBS, DEAR, Soft-IBS).
+    pub lpi_numa: Option<f64>,
+    /// `M_r / (M_l + M_r)` over all samples.
+    pub remote_fraction: f64,
+    /// Sampled accesses per domain, across all threads.
+    pub per_domain: Vec<u64>,
+    /// Max-domain share over fair share (1.0 = balanced).
+    pub domain_imbalance: f64,
+    pub total_samples: u64,
+    pub total_latency: u64,
+    pub remote_latency: u64,
+    /// Fraction of total sampled latency caused by remote accesses.
+    pub remote_latency_fraction: f64,
+    /// Share of remote latency (or of remote samples, without latency)
+    /// attributed to heap / static / stack variables.
+    pub heap_share: f64,
+    pub static_share: f64,
+    pub stack_share: f64,
+}
+
+impl ProgramAnalysis {
+    /// The paper's verdict: is NUMA optimization worthwhile? (§4.2's 0.1
+    /// cycles/instruction rule; without latency capability, fall back to a
+    /// remote-fraction heuristic as the MRK case studies do.)
+    pub fn warrants_optimization(&self) -> bool {
+        match self.lpi_numa {
+            Some(lpi) => lpi > LPI_THRESHOLD,
+            None => self.remote_fraction > 0.5,
+        }
+    }
+}
+
+/// Merged (all-thread) view of one variable.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VarAnalysis {
+    pub var: VarId,
+    pub name: String,
+    pub kind: VarKind,
+    pub bytes: u64,
+    /// Metrics accumulated across threads.
+    pub metrics: MetricSet,
+    /// This variable's share of program remote latency (or of remote
+    /// samples when latency is unavailable).
+    pub remote_share: f64,
+    /// Variable-level `lpi`: remote latency per sampled access (`None`
+    /// without latency capability).
+    pub lpi: Option<f64>,
+    /// Allocation call path, rendered.
+    pub alloc_path: String,
+    pub alloc_tid: usize,
+}
+
+/// Per-thread normalized [min, max] accessed range of one variable under
+/// one scope — a column of the paper's address-centric view (Figure 3's
+/// upper-right pane).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThreadRange {
+    pub tid: usize,
+    /// Normalized to the variable extent: 0.0 = first byte, 1.0 = last.
+    pub min: f64,
+    pub max: f64,
+    pub samples: u64,
+    pub latency: u64,
+}
+
+/// The offline analyzer: wraps a profile and answers analysis queries.
+pub struct Analyzer {
+    profile: NumaProfile,
+    totals: MetricSet,
+    var_totals: HashMap<VarId, MetricSet>,
+    /// Merged ranges (the [min,max]-reduced all-thread view).
+    merged_ranges: HashMap<RangeKey, RangeStat>,
+}
+
+impl Analyzer {
+    pub fn new(profile: NumaProfile) -> Self {
+        // Thread merging is embarrassingly parallel: fold per-thread partial
+        // aggregates, then reduce.
+        let domains = profile.domains;
+        let (totals, var_totals, merged_ranges) = profile
+            .threads
+            .par_iter()
+            .map(|t| {
+                let mut vt: HashMap<VarId, MetricSet> = HashMap::new();
+                for (v, m) in &t.var_metrics {
+                    vt.entry(*v).or_insert_with(|| MetricSet::new(domains)).merge(m);
+                }
+                let mut mr: HashMap<RangeKey, RangeStat> = HashMap::new();
+                for (k, s) in &t.ranges {
+                    mr.entry(*k)
+                        .and_modify(|acc| acc.merge(s))
+                        .or_insert(*s);
+                }
+                (t.totals.clone(), vt, mr)
+            })
+            .reduce(
+                || (MetricSet::new(domains), HashMap::new(), HashMap::new()),
+                |(mut t1, mut v1, mut r1), (t2, v2, r2)| {
+                    t1.merge(&t2);
+                    for (k, m) in v2 {
+                        v1.entry(k).or_insert_with(|| MetricSet::new(domains)).merge(&m);
+                    }
+                    for (k, s) in r2 {
+                        r1.entry(k).and_modify(|acc| acc.merge(&s)).or_insert(s);
+                    }
+                    (t1, v1, r1)
+                },
+            );
+        Analyzer {
+            profile,
+            totals,
+            var_totals,
+            merged_ranges,
+        }
+    }
+
+    pub fn profile(&self) -> &NumaProfile {
+        &self.profile
+    }
+
+    /// Program-wide merged metrics.
+    pub fn totals(&self) -> &MetricSet {
+        &self.totals
+    }
+
+    /// Program-wide derived metrics.
+    pub fn program(&self) -> ProgramAnalysis {
+        let p = &self.profile;
+        let lpi = match p.mechanism {
+            // Eq. 2: sampled remote latency over sampled instructions.
+            MechanismKind::Ibs => self.totals.lpi_numa(),
+            // Eq. 3: average latency per sampled event × absolute events /
+            // absolute instructions (both from hardware counters).
+            MechanismKind::PebsLl => {
+                let events: u64 = p.threads.iter().map(|t| t.numa_events).sum();
+                let instr = p.total_instructions();
+                if self.totals.samples_mem == 0 || instr == 0 {
+                    None
+                } else {
+                    let avg_remote_per_sample =
+                        self.totals.latency_remote as f64 / self.totals.samples_mem as f64;
+                    Some(avg_remote_per_sample * events as f64 / instr as f64)
+                }
+            }
+            _ => None,
+        };
+        let shares = self.kind_shares();
+        ProgramAnalysis {
+            mechanism: p.mechanism,
+            lpi_numa: lpi,
+            remote_fraction: self.totals.remote_fraction(),
+            per_domain: self.totals.per_domain.clone(),
+            domain_imbalance: self.totals.domain_imbalance(),
+            total_samples: self.totals.samples_mem,
+            total_latency: self.totals.latency_total,
+            remote_latency: self.totals.latency_remote,
+            remote_latency_fraction: if self.totals.latency_total == 0 {
+                0.0
+            } else {
+                self.totals.latency_remote as f64 / self.totals.latency_total as f64
+            },
+            heap_share: shares.0,
+            static_share: shares.1,
+            stack_share: shares.2,
+        }
+    }
+
+    /// (heap, static, stack) shares of remote cost.
+    fn kind_shares(&self) -> (f64, f64, f64) {
+        let mut heap = 0u64;
+        let mut stat = 0u64;
+        let mut stack = 0u64;
+        for (v, m) in &self.var_totals {
+            let w = self.remote_weight(m);
+            match self.profile.var(*v).kind {
+                VarKind::Heap => heap += w,
+                VarKind::Static => stat += w,
+                VarKind::Stack => stack += w,
+            }
+        }
+        let total = self.remote_weight(&self.totals);
+        if total == 0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                heap as f64 / total as f64,
+                stat as f64 / total as f64,
+                stack as f64 / total as f64,
+            )
+        }
+    }
+
+    /// Cost weight used for rankings: remote latency when available,
+    /// remote sample count otherwise.
+    fn remote_weight(&self, m: &MetricSet) -> u64 {
+        if self.profile.capabilities.latency {
+            m.latency_remote
+        } else {
+            m.m_remote
+        }
+    }
+
+    /// Merged metrics of one variable (zeroed if never sampled).
+    pub fn var_metrics(&self, var: VarId) -> MetricSet {
+        self.var_totals
+            .get(&var)
+            .cloned()
+            .unwrap_or_else(|| MetricSet::new(self.profile.domains))
+    }
+
+    /// All sampled variables, ranked by remote cost (highest first) — the
+    /// "hot variables" list the case studies walk down.
+    pub fn hot_variables(&self) -> Vec<VarAnalysis> {
+        let program_total = self.remote_weight(&self.totals).max(1);
+        let mut out: Vec<VarAnalysis> = self
+            .var_totals
+            .iter()
+            .map(|(v, m)| {
+                let rec = self.profile.var(*v);
+                VarAnalysis {
+                    var: *v,
+                    name: rec.name.clone(),
+                    kind: rec.kind,
+                    bytes: rec.bytes,
+                    metrics: m.clone(),
+                    remote_share: self.remote_weight(m) as f64 / program_total as f64,
+                    lpi: m.lpi_numa(),
+                    alloc_path: rec
+                        .alloc_path
+                        .iter()
+                        .map(|f| self.profile.func_name(f.func).to_string())
+                        .collect::<Vec<_>>()
+                        .join(" > "),
+                    alloc_tid: rec.alloc_tid,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            self.remote_weight(&b.metrics)
+                .cmp(&self.remote_weight(&a.metrics))
+                .then(a.var.cmp(&b.var))
+        });
+        out
+    }
+
+    /// Per-thread normalized [min,max] ranges of `var` under `scope`,
+    /// merged over each thread's *hot* bins (§5.2's rule of using hot bins
+    /// to represent the pattern). A bin is hot for a thread if it holds at
+    /// least `hot_bin_threshold` of the thread's *mean* per-bin weight:
+    /// relative-to-mean hotness keeps uniformly spread sweeps intact while
+    /// discarding one-off stray samples that would otherwise stretch the
+    /// [min,max] range. One entry per thread that sampled the variable.
+    pub fn thread_ranges(&self, var: VarId, scope: RangeScope) -> Vec<ThreadRange> {
+        self.thread_ranges_with_threshold(var, scope, 0.05)
+    }
+
+    pub fn thread_ranges_with_threshold(
+        &self,
+        var: VarId,
+        scope: RangeScope,
+        hot_bin_threshold: f64,
+    ) -> Vec<ThreadRange> {
+        let rec = self.profile.var(var);
+        let extent = rec.bytes.max(1) as f64;
+        let mut out = Vec::new();
+        for t in &self.profile.threads {
+            // Hotness is judged per thread: a bin represents this thread's
+            // pattern only if it holds a meaningful share of the thread's
+            // own samples, so one-off stray samples (a rare neighbour-block
+            // gather caught by sampling) cannot stretch the [min,max]
+            // range — exactly what the paper's hot-bin refinement is for.
+            let mut thread_total = 0u64;
+            let mut bin_weight: HashMap<u16, u64> = HashMap::new();
+            for (k, s) in &t.ranges {
+                if k.var == var && k.scope == scope {
+                    *bin_weight.entry(k.bin).or_insert(0) += s.count;
+                    thread_total += s.count;
+                }
+            }
+            if thread_total == 0 {
+                continue;
+            }
+            let mean = thread_total as f64 / bin_weight.len() as f64;
+            let cut = (hot_bin_threshold * mean).max(2.0);
+            let hot = |bin: u16| bin_weight[&bin] as f64 >= cut;
+            let mut merged: Option<RangeStat> = None;
+            for (k, s) in &t.ranges {
+                if k.var == var && k.scope == scope && hot(k.bin) {
+                    match &mut merged {
+                        Some(acc) => acc.merge(s),
+                        None => merged = Some(*s),
+                    }
+                }
+            }
+            if let Some(s) = merged {
+                out.push(ThreadRange {
+                    tid: t.tid,
+                    min: (s.min_addr - rec.addr) as f64 / extent,
+                    max: (s.max_addr - rec.addr) as f64 / extent,
+                    samples: s.count,
+                    latency: s.latency,
+                });
+            }
+        }
+        out.sort_by_key(|r| r.tid);
+        out
+    }
+
+    /// Parallel regions in which `var` was sampled, with each region's
+    /// share of the variable's cost (latency if available, else samples).
+    /// Sorted by descending share — the drill-down of Figures 4→5.
+    pub fn var_regions(&self, var: VarId) -> Vec<(FuncId, f64)> {
+        let mut per_region: HashMap<FuncId, u64> = HashMap::new();
+        let mut program_total = 0u64;
+        let use_latency = self.profile.capabilities.latency;
+        for (k, s) in &self.merged_ranges {
+            if k.var != var {
+                continue;
+            }
+            // Weight by *NUMA* latency where available: local traffic
+            // (e.g. the master's initialization) must not dilute region
+            // shares (the paper's 74.2% is a share of NUMA access latency).
+            let w = if use_latency { s.latency_remote } else { s.count };
+            match k.scope {
+                RangeScope::Program => program_total += w,
+                RangeScope::Region(r) => *per_region.entry(r).or_insert(0) += w,
+            }
+        }
+        if program_total == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(FuncId, f64)> = per_region
+            .into_iter()
+            .map(|(r, w)| (r, w as f64 / program_total as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+        out
+    }
+
+    /// First-touch records for a variable, with rendered call paths —
+    /// "identify where data pages are bound to NUMA domains" (§2).
+    pub fn first_touch_sites(&self, var: VarId) -> Vec<(usize, DomainId, String)> {
+        self.profile
+            .first_touches
+            .iter()
+            .filter(|ft| ft.var == var)
+            .map(|ft| {
+                let path = ft
+                    .path
+                    .iter()
+                    .map(|f| self.profile.func_name(f.func).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" > ");
+                (ft.tid, ft.domain, path)
+            })
+            .collect()
+    }
+
+    /// Merged range stat for an explicit key (tests / views).
+    pub fn merged_range(&self, key: &RangeKey) -> Option<&RangeStat> {
+        self.merged_ranges.get(key)
+    }
+
+    /// Merge all threads' calling context trees into one, accumulating
+    /// exclusive metrics on shared paths — the code-centric pane of the
+    /// viewer.
+    pub fn merged_cct(&self) -> numa_profiler::Cct {
+        let mut merged = numa_profiler::Cct::new(self.profile.domains);
+        for t in &self.profile.threads {
+            for id in 0..t.cct.len() as numa_profiler::NodeId {
+                let node = t.cct.node(id);
+                if node.metrics == MetricSet::new(self.profile.domains) {
+                    continue; // nothing attributed exactly here
+                }
+                // Rebuild the node's path of keys and resolve it in the
+                // merged tree.
+                let path = t.cct.path_to(id);
+                let mut cur = numa_profiler::ROOT;
+                for &pid in path.iter().skip(1) {
+                    cur = merged.child(cur, t.cct.node(pid).key);
+                }
+                merged.node_mut(cur).metrics.merge(&node.metrics);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_machine::{Machine, MachinePreset, PlacementPolicy};
+    use numa_profiler::{finish_profile, NumaProfiler, ProfilerConfig};
+    use numa_sampling::MechanismConfig;
+    use numa_sim::{ExecMode, Program};
+    use std::sync::Arc;
+
+    /// Master-init array, block-partitioned worker reads: the canonical
+    /// first-touch bottleneck.
+    /// Build the canonical first-touch bottleneck: master-initialized
+    /// array (everything lands in domain 0), block-partitioned worker
+    /// sweeps. `iterations` weights the compute phase like a real solver
+    /// loop; `init` toggles the serial init (without it, placement is
+    /// forced with an explicit bind, as when only the compute phase is
+    /// profiled).
+    fn profile_with(kind: MechanismKind, period: u64, iterations: usize, init: bool) -> NumaProfile {
+        let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
+        let config = ProfilerConfig::new(MechanismConfig::for_tests(kind, period));
+        let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, 8));
+        let mut p = Program::new(machine, 8, ExecMode::Sequential, profiler.clone());
+        let size = 4u64 << 20;
+        let mut base = 0;
+        p.serial("main", |ctx| {
+            let policy = if init {
+                PlacementPolicy::FirstTouch
+            } else {
+                PlacementPolicy::Bind(numa_machine::DomainId(0))
+            };
+            base = ctx.alloc("z", size, policy);
+            if init {
+                ctx.store_range(base, size / 64, 64);
+            }
+        });
+        for _ in 0..iterations {
+            p.parallel("CalcForce._omp", |tid, ctx| {
+                let chunk = size / 8;
+                ctx.load_range(base + tid as u64 * chunk, chunk / 64, 64);
+            });
+        }
+        finish_profile(p, profiler)
+    }
+
+    fn bottleneck_profile(kind: MechanismKind, period: u64) -> NumaProfile {
+        profile_with(kind, period, 2, true)
+    }
+
+    #[test]
+    fn program_analysis_flags_the_bottleneck() {
+        let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 16));
+        let pa = a.program();
+        // 7 of 8 threads are remote to domain 0.
+        assert!(pa.remote_fraction > 0.5, "remote fraction {}", pa.remote_fraction);
+        assert!(pa.domain_imbalance > 4.0, "imbalance {}", pa.domain_imbalance);
+        assert!(pa.lpi_numa.is_some());
+        assert!(pa.warrants_optimization());
+        assert!(pa.heap_share > 0.9);
+    }
+
+    #[test]
+    fn hot_variables_ranked_and_attributed() {
+        let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 16));
+        let hot = a.hot_variables();
+        assert_eq!(hot.len(), 1);
+        let z = &hot[0];
+        assert_eq!(z.name, "z");
+        assert!(z.remote_share > 0.9);
+        assert!(z.metrics.m_remote > z.metrics.m_local);
+        assert!(z.alloc_path.contains("main"));
+    }
+
+    #[test]
+    fn thread_ranges_form_a_staircase() {
+        let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 4));
+        let z = a.profile().var_by_name("z").unwrap().id;
+        // Worker-region scope isolates the parallel read pattern.
+        let region = a
+            .profile()
+            .func_names
+            .iter()
+            .position(|n| n == "CalcForce._omp")
+            .map(|i| FuncId(i as u32))
+            .unwrap();
+        let ranges = a.thread_ranges(z, RangeScope::Region(region));
+        assert_eq!(ranges.len(), 8);
+        for (i, r) in ranges.iter().enumerate() {
+            // Thread i's range sits inside its 1/8th block.
+            let lo = i as f64 / 8.0;
+            let hi = (i + 1) as f64 / 8.0;
+            assert!(r.min >= lo - 0.01 && r.max <= hi + 0.01, "thread {i}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn var_regions_rank_the_parallel_region_first() {
+        let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 4));
+        let z = a.profile().var_by_name("z").unwrap().id;
+        let regions = a.var_regions(z);
+        assert!(!regions.is_empty());
+        let (top, share) = regions[0];
+        assert_eq!(a.profile().func_name(top), "CalcForce._omp");
+        assert!(share > 0.0 && share <= 1.0);
+    }
+
+    #[test]
+    fn first_touch_sites_name_the_init_code() {
+        let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 64));
+        let z = a.profile().var_by_name("z").unwrap().id;
+        let sites = a.first_touch_sites(z);
+        assert_eq!(sites.len(), 1);
+        let (tid, domain, path) = &sites[0];
+        assert_eq!(*tid, 0);
+        assert_eq!(*domain, DomainId(0));
+        assert!(path.contains("main"));
+    }
+
+    #[test]
+    fn lpi_none_without_latency_capability() {
+        // No init phase: MRK sees only the compute phase's L3-miss events.
+        let a = Analyzer::new(profile_with(MechanismKind::Mrk, 1, 2, false));
+        let pa = a.program();
+        assert_eq!(pa.lpi_numa, None);
+        // Fallback verdict still fires on remote fraction.
+        assert!(pa.warrants_optimization());
+    }
+
+    #[test]
+    fn merged_totals_equal_sum_of_threads() {
+        let profile = bottleneck_profile(MechanismKind::Ibs, 8);
+        let by_hand: u64 = profile.threads.iter().map(|t| t.totals.samples_mem).sum();
+        let a = Analyzer::new(profile);
+        assert_eq!(a.totals().samples_mem, by_hand);
+    }
+}

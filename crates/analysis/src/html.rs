@@ -1,0 +1,282 @@
+//! Self-contained HTML report: the closest thing to the paper's
+//! `hpcviewer` screenshots (Figure 3) that a terminal tool can emit.
+//!
+//! One file, no external assets: program summary, the hot-variable table,
+//! an SVG address-centric plot per top variable (whole program and, when
+//! a region dominates, the per-region drill-down), the merged
+//! code-centric tree, and — if tracing was enabled — the remote-fraction
+//! timeline.
+
+use crate::analyzer::{Analyzer, ThreadRange};
+use crate::pattern::classify;
+use crate::report::{analyze, AnalysisReport};
+use crate::view;
+use numa_profiler::{RangeScope, VarId, LPI_THRESHOLD};
+use numa_sim::FuncId;
+use std::fmt::Write as _;
+
+/// Plot geometry.
+const PLOT_W: f64 = 640.0;
+const PLOT_H: f64 = 260.0;
+const MARGIN: f64 = 36.0;
+
+/// Escape text for HTML.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render one address-centric plot as inline SVG: x = thread index,
+/// y = normalized address, one bar per thread spanning [min, max] — the
+/// paper's Figure 3 upper-right pane.
+pub fn svg_address_plot(ranges: &[ThreadRange], title: &str) -> String {
+    let mut s = String::new();
+    let n = ranges.iter().map(|r| r.tid + 1).max().unwrap_or(1);
+    let inner_w = PLOT_W - 2.0 * MARGIN;
+    let inner_h = PLOT_H - 2.0 * MARGIN;
+    let _ = write!(
+        s,
+        r#"<svg viewBox="0 0 {PLOT_W} {PLOT_H}" width="{PLOT_W}" height="{PLOT_H}" xmlns="http://www.w3.org/2000/svg">"#
+    );
+    let _ = write!(
+        s,
+        r#"<text x="{}" y="16" text-anchor="middle" font-size="13" font-family="sans-serif">{}</text>"#,
+        PLOT_W / 2.0,
+        esc(title)
+    );
+    // Axes.
+    let _ = write!(
+        s,
+        r##"<rect x="{MARGIN}" y="{MARGIN}" width="{inner_w}" height="{inner_h}" fill="none" stroke="#888"/>"##
+    );
+    let _ = write!(
+        s,
+        r#"<text x="10" y="{}" font-size="10" font-family="sans-serif" transform="rotate(-90 10 {})">normalized address</text>"#,
+        PLOT_H / 2.0,
+        PLOT_H / 2.0
+    );
+    let _ = write!(
+        s,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="10" font-family="sans-serif">thread index (0..{})</text>"#,
+        PLOT_W / 2.0,
+        PLOT_H - 8.0,
+        n.saturating_sub(1)
+    );
+    // Bars. Weight (sample share) modulates opacity so hot threads stand
+    // out — the latency-weighting guidance of §5.2.
+    let max_samples = ranges.iter().map(|r| r.samples).max().unwrap_or(1).max(1);
+    let bar_w = (inner_w / n as f64 * 0.7).max(1.0);
+    for r in ranges {
+        if r.samples == 0 {
+            continue;
+        }
+        let x = MARGIN + inner_w * (r.tid as f64 + 0.15) / n as f64;
+        // SVG y grows downward; normalized address grows upward.
+        let y_top = MARGIN + inner_h * (1.0 - r.max);
+        let h = (inner_h * (r.max - r.min)).max(1.5);
+        let opacity = 0.35 + 0.65 * (r.samples as f64 / max_samples as f64);
+        let _ = write!(
+            s,
+            r##"<rect x="{x:.1}" y="{y_top:.1}" width="{bar_w:.1}" height="{h:.1}" fill="#2563eb" fill-opacity="{opacity:.2}"><title>thread {}: [{:.3}, {:.3}], {} samples</title></rect>"##,
+            r.tid, r.min, r.max, r.samples
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// Generate the complete HTML report.
+pub fn html_report(analyzer: &Analyzer) -> String {
+    let report: AnalysisReport = analyze(analyzer);
+    let p = &report.program;
+    let mut s = String::new();
+    s.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
+    let _ = write!(
+        s,
+        "<title>NUMA analysis — {}</title>",
+        esc(&report.machine)
+    );
+    s.push_str(
+        "<style>
+body{font-family:sans-serif;max-width:960px;margin:2rem auto;padding:0 1rem;color:#111}
+table{border-collapse:collapse;width:100%;margin:1rem 0}
+th,td{border:1px solid #ccc;padding:4px 8px;font-size:13px;text-align:left}
+th{background:#f3f4f6}
+.verdict-yes{color:#b91c1c;font-weight:bold}
+.verdict-no{color:#15803d;font-weight:bold}
+pre{background:#f9fafb;border:1px solid #e5e7eb;padding:8px;font-size:12px;overflow-x:auto}
+.advice{background:#fffbeb;border-left:4px solid #f59e0b;padding:6px 10px;margin:0.5rem 0;font-size:14px}
+</style></head><body>",
+    );
+    let _ = write!(
+        s,
+        "<h1>NUMA analysis</h1><p>{} · {} sampling</p>",
+        esc(&report.machine),
+        esc(&report.mechanism)
+    );
+
+    // Program verdict.
+    s.push_str("<h2>Program</h2><table><tr><th>metric</th><th>value</th></tr>");
+    match p.lpi_numa {
+        Some(lpi) => {
+            let class = if p.warrants_optimization() { "verdict-yes" } else { "verdict-no" };
+            let verdict = if p.warrants_optimization() {
+                "optimization warranted"
+            } else {
+                "not worth optimizing"
+            };
+            let _ = write!(
+                s,
+                "<tr><td>lpi_NUMA (threshold {LPI_THRESHOLD})</td><td>{lpi:.3} — <span class=\"{class}\">{verdict}</span></td></tr>"
+            );
+        }
+        None => {
+            let _ = write!(
+                s,
+                "<tr><td>lpi_NUMA</td><td>unavailable ({} has no latency capability)</td></tr>",
+                esc(&report.mechanism)
+            );
+        }
+    }
+    let _ = write!(
+        s,
+        "<tr><td>remote accesses</td><td>{:.1}% of samples</td></tr>\
+         <tr><td>remote latency</td><td>{:.1}% of total</td></tr>\
+         <tr><td>domain imbalance</td><td>×{:.1}</td></tr>\
+         <tr><td>remote cost by kind</td><td>heap {:.0}%, static {:.0}%, stack {:.0}%</td></tr></table>",
+        p.remote_fraction * 100.0,
+        p.remote_latency_fraction * 100.0,
+        p.domain_imbalance,
+        p.heap_share * 100.0,
+        p.static_share * 100.0,
+        p.stack_share * 100.0
+    );
+
+    // Hot variables with plots and advice.
+    s.push_str("<h2>Hot variables</h2>");
+    for a in report.advice.iter().take(5) {
+        let _ = write!(
+            s,
+            "<h3>{} <small>[{}] — {:.1}% of remote cost</small></h3>",
+            esc(&a.name),
+            a.summary.kind.name(),
+            a.summary.remote_share * 100.0
+        );
+        let _ = write!(
+            s,
+            "<p>M<sub>r</sub>/M<sub>l</sub> = {}; allocated by thread {} at <code>{}</code></p>",
+            ratio(a.summary.metrics.m_remote, a.summary.metrics.m_local),
+            a.summary.alloc_tid,
+            esc(&a.summary.alloc_path)
+        );
+        let var = a.var;
+        let prog_ranges = analyzer.thread_ranges(var, RangeScope::Program);
+        s.push_str(&svg_address_plot(
+            &prog_ranges,
+            &format!("{} — whole program ({})", a.name, classify(&prog_ranges).name()),
+        ));
+        if let Some(r) = &a.dominant_region {
+            if let Some(f) = find_region(analyzer, &r.region) {
+                let rr = analyzer.thread_ranges(var, RangeScope::Region(f));
+                s.push_str(&svg_address_plot(
+                    &rr,
+                    &format!(
+                        "{} — region {} [{:.0}% of cost] ({})",
+                        a.name,
+                        r.region,
+                        r.share * 100.0,
+                        classify(&rr).name()
+                    ),
+                ));
+            }
+        }
+        let _ = write!(s, "<div class=\"advice\">⇒ {}</div>", esc(a.recommendation.describe()));
+        for (tid, domain, path) in &a.first_touch_sites {
+            let _ = write!(
+                s,
+                "<p>first touch: thread {tid} ({}) at <code>{}</code></p>",
+                esc(domain),
+                esc(path)
+            );
+        }
+    }
+
+    // Code-centric pane.
+    s.push_str("<h2>Calling contexts</h2><pre>");
+    s.push_str(&esc(&view::render_cct(analyzer, 0.02)));
+    s.push_str("</pre>");
+
+    // Timeline, if traced.
+    if analyzer.profile().threads.iter().any(|t| !t.trace.is_empty()) {
+        s.push_str("<h2>Remote-fraction timeline</h2><pre>");
+        s.push_str(&esc(&view::render_trace_timelines(analyzer, 64)));
+        s.push_str("</pre>");
+    }
+
+    s.push_str("</body></html>");
+    s
+}
+
+fn find_region(analyzer: &Analyzer, name: &str) -> Option<FuncId> {
+    analyzer
+        .profile()
+        .func_names
+        .iter()
+        .position(|n| n == name)
+        .map(|i| FuncId(i as u32))
+}
+
+fn ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        "∞".to_string()
+    } else {
+        format!("{:.1}", a as f64 / b as f64)
+    }
+}
+
+/// Convenience used by tests/CLI: plot for one variable.
+pub fn svg_for_var(analyzer: &Analyzer, var: VarId) -> String {
+    let rec = analyzer.profile().var(var);
+    let ranges = analyzer.thread_ranges(var, RangeScope::Program);
+    svg_address_plot(&ranges, &rec.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges(n: usize) -> Vec<ThreadRange> {
+        (0..n)
+            .map(|i| ThreadRange {
+                tid: i,
+                min: i as f64 / n as f64,
+                max: (i + 1) as f64 / n as f64,
+                samples: 10 + i as u64,
+                latency: 100,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn svg_has_one_bar_per_thread() {
+        let svg = svg_address_plot(&ranges(8), "z");
+        assert_eq!(svg.matches("<rect").count(), 1 + 8, "frame + 8 bars");
+        assert!(svg.contains("thread 7"));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn svg_escapes_titles() {
+        let svg = svg_address_plot(&ranges(2), "a<b & c");
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn zero_sample_threads_draw_nothing() {
+        let mut r = ranges(3);
+        r[1].samples = 0;
+        let svg = svg_address_plot(&r, "t");
+        assert_eq!(svg.matches("<rect").count(), 1 + 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation: address-centric bin count (§5.2).
+//!
+//! The paper defaults to five bins per large variable and exposes an
+//! environment knob. This ablation sweeps the bin count and reports (a)
+//! analysis cost and (b) whether the classifier still recovers the LULESH
+//! blocked staircase — few bins blur per-thread blocks into overlapping
+//! ranges; many bins cost profile space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_analysis::{classify, Analyzer};
+use numa_machine::{Machine, MachinePreset};
+use numa_profiler::{NumaProfile, ProfilerConfig, RangeScope};
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_sim::ExecMode;
+use numa_workloads::{run_profiled, Lulesh, LuleshVariant};
+
+fn profile_with_bins(bins: u16) -> NumaProfile {
+    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 16))
+        .with_bins(bins);
+    let (_, _, profile) = run_profiled(
+        &Lulesh::new(24, 1, LuleshVariant::Baseline),
+        Machine::from_preset(MachinePreset::AmdMagnyCours),
+        8,
+        ExecMode::Sequential,
+        config,
+    );
+    profile
+}
+
+fn bench_bins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_count_ablation");
+    group.sample_size(10);
+    for bins in [1u16, 2, 5, 16, 64] {
+        let profile = profile_with_bins(bins);
+        let ranges: usize = profile.threads.iter().map(|t| t.ranges.len()).sum();
+        let a = Analyzer::new(profile.clone());
+        let z = a.profile().var_by_name("z").unwrap().id;
+        let pattern = classify(&a.thread_ranges(z, RangeScope::Program));
+        println!("bins={bins}: {ranges} range records, z pattern = {}", pattern.name());
+        group.bench_with_input(BenchmarkId::new("analyze", bins), &profile, |b, p| {
+            b.iter(|| {
+                let a = Analyzer::new(p.clone());
+                let z = a.profile().var_by_name("z").unwrap().id;
+                classify(&a.thread_ranges(z, RangeScope::Program))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bins);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: the contention model's slope and cap.
+//!
+//! §2 cites up to 5× latency inflation under bandwidth contention. This
+//! ablation sweeps the contention slope and re-measures the Figure 1 gap
+//! (single-domain vs co-located sweep time), showing how much of the gap
+//! is latency (slope 0 → distance only) and how much is queueing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_machine::{DomainId, LatencyModel, Machine, MachinePreset, PlacementPolicy};
+use numa_sim::{ExecMode, Program};
+
+fn sweep(slope: f64, colocated: bool) -> u64 {
+    let topo = MachinePreset::AmdMagnyCours.topology();
+    let mut lat = LatencyModel::default_for(&topo);
+    lat.contention_slope = slope;
+    let machine = Machine::with_latency(topo, lat);
+    let threads = 48;
+    let bytes: u64 = 64 << 20;
+    let policy = if colocated {
+        machine.blockwise_for_threads(threads)
+    } else {
+        PlacementPolicy::Bind(DomainId(0))
+    };
+    let mut p = Program::unmonitored(machine, threads, ExecMode::Sequential);
+    let mut base = 0;
+    p.serial("main", |ctx| {
+        base = ctx.alloc("data", bytes, policy);
+    });
+    p.parallel("sweep", |tid, ctx| {
+        let chunk = bytes / threads as u64;
+        for off in (0..chunk).step_by(64) {
+            ctx.load(base + tid as u64 * chunk + off, 8);
+        }
+    });
+    p.finish().elapsed_cycles
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention_slope_ablation");
+    group.sample_size(10);
+    for slope in [0.0, 0.3, 0.6, 1.2] {
+        let single = sweep(slope, false);
+        let coloc = sweep(slope, true);
+        println!(
+            "slope={slope}: single-domain/co-located = {:.2}×",
+            single as f64 / coloc as f64
+        );
+        group.bench_with_input(BenchmarkId::new("single_domain", slope.to_string()), &slope, |b, &s| {
+            b.iter(|| sweep(s, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: sampling period vs measurement fidelity and overhead.
+//!
+//! Sweeping the IBS period shows the paper's core trade-off: shorter
+//! periods give denser address samples (better pattern fidelity, here
+//! measured as how close the sampled remote fraction tracks ground truth)
+//! at higher monitoring overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_analysis::Analyzer;
+use numa_machine::{Machine, MachinePreset};
+use numa_profiler::ProfilerConfig;
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_sim::ExecMode;
+use numa_workloads::{run_profiled, Lulesh, LuleshVariant};
+
+fn bench_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_period_ablation");
+    group.sample_size(10);
+    for period in [16u64, 64, 256, 1024, 4096] {
+        let mut cfg = MechanismConfig::paper(MechanismKind::Ibs);
+        cfg.period = period;
+        cfg.per_sample_cost = 1400; // fixed handler cost per sample
+        let (stats, _, profile) = run_profiled(
+            &Lulesh::new(24, 1, LuleshVariant::Baseline),
+            Machine::from_preset(MachinePreset::AmdMagnyCours),
+            8,
+            ExecMode::Sequential,
+            ProfilerConfig::new(cfg.clone()),
+        );
+        let a = Analyzer::new(profile);
+        println!(
+            "period={period}: {} samples, remote fraction {:.3}, overhead {:+.1}%",
+            a.totals().samples_mem,
+            a.program().remote_fraction,
+            stats.overhead_fraction() * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("profile", period), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_profiled(
+                    &Lulesh::new(16, 1, LuleshVariant::Baseline),
+                    Machine::from_preset(MachinePreset::AmdMagnyCours),
+                    8,
+                    ExecMode::Sequential,
+                    ProfilerConfig::new(cfg.clone()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_period);
+criterion_main!(benches);

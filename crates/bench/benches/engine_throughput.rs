@@ -1,0 +1,39 @@
+//! Engine throughput: simulated memory events per second, sequential vs
+//! parallel execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use numa_machine::{Machine, MachinePreset, PlacementPolicy};
+use numa_sim::{ExecMode, Program};
+
+const ACCESSES_PER_THREAD: u64 = 100_000;
+const THREADS: usize = 8;
+
+fn run(mode: ExecMode) -> u64 {
+    let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
+    let mut p = Program::unmonitored(machine, THREADS, mode);
+    let bytes = THREADS as u64 * ACCESSES_PER_THREAD * 8;
+    let mut base = 0;
+    p.serial("main", |ctx| {
+        base = ctx.alloc("data", bytes, PlacementPolicy::interleave_all(8));
+    });
+    p.parallel("sweep", |tid, ctx| {
+        let chunk = bytes / THREADS as u64;
+        ctx.load_range(base + tid as u64 * chunk, ACCESSES_PER_THREAD, 8);
+    });
+    p.finish().mem_accesses
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(THREADS as u64 * ACCESSES_PER_THREAD));
+    for (label, mode) in [("sequential", ExecMode::Sequential), ("parallel", ExecMode::Parallel)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &m| {
+            b.iter(|| run(m))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

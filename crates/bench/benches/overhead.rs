@@ -1,0 +1,48 @@
+//! Criterion bench: profiling overhead per sampling mechanism.
+//!
+//! Measures wall-clock simulation throughput of a fixed LULESH workload
+//! under the null monitor and under each mechanism — the microbenchmark
+//! behind Table 2 (which reports simulated-cycle overhead instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_machine::{Machine, MachinePreset};
+use numa_profiler::ProfilerConfig;
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_sim::ExecMode;
+use numa_workloads::{run_profiled, run_unmonitored, Lulesh, LuleshVariant};
+
+fn workload() -> Lulesh {
+    Lulesh::new(16, 1, LuleshVariant::Baseline)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling_overhead");
+    group.sample_size(10);
+    group.bench_function("unmonitored", |b| {
+        b.iter(|| {
+            run_unmonitored(
+                &workload(),
+                Machine::from_preset(MachinePreset::AmdMagnyCours),
+                8,
+                ExecMode::Sequential,
+            )
+        })
+    });
+    for kind in MechanismKind::ALL {
+        group.bench_with_input(BenchmarkId::new("mechanism", kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                run_profiled(
+                    &workload(),
+                    Machine::from_preset(MachinePreset::AmdMagnyCours),
+                    8,
+                    ExecMode::Sequential,
+                    ProfilerConfig::new(MechanismConfig::scaled(k, 64)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

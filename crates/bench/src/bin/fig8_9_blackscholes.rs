@@ -1,0 +1,126 @@
+//! Regenerates the **Blackscholes case study** (§8.3, Figures 8–9): the
+//! overlapping staggered access pattern of `buffer`, the regrouping fix,
+//! and the validation of the `lpi_NUMA` severity metric — the fix barely
+//! improves end-to-end time even though `M_r ≫ M_l`.
+
+use numa_analysis::{classify, render_address_view, Analyzer};
+use numa_bench::{
+    amd, bare_workload, blackscholes_bench, print_comparison, profile_workload, speedup_pct, Row,
+};
+use numa_profiler::{RangeScope, LPI_THRESHOLD};
+use numa_sampling::MechanismKind;
+use numa_workloads::BlackscholesVariant;
+
+fn main() {
+    println!("Blackscholes case study (§8.3 / Figures 8–9)");
+    println!("profiling Blackscholes (49K options, 48 threads, 30 rounds) with IBS…");
+
+    let app = blackscholes_bench(BlackscholesVariant::Baseline);
+    let (_, _, profile) = profile_workload(&app, amd(), 48, MechanismKind::Ibs);
+    let a = Analyzer::new(profile);
+    let program = a.program();
+    let hot = a.hot_variables();
+
+    let buffer = a.profile().var_by_name("buffer").unwrap().id;
+    let bm = a.var_metrics(buffer);
+    let buffer_share = hot
+        .iter()
+        .find(|v| v.name == "buffer")
+        .map(|v| v.remote_share)
+        .unwrap_or(0.0);
+
+    print_comparison(
+        "Blackscholes metrics — paper vs measured",
+        &[
+            Row::new(
+                "program lpi_NUMA (cycles/instr)",
+                "0.035",
+                format!("{:.3}", program.lpi_numa.unwrap_or(0.0)),
+            ),
+            Row::new(
+                format!("verdict (threshold {LPI_THRESHOLD})"),
+                "do NOT optimize",
+                if program.warrants_optimization() {
+                    "optimize"
+                } else {
+                    "do NOT optimize"
+                },
+            ),
+            Row::new(
+                "heap vars' share of remote latency",
+                "66.8%",
+                format!("{:.1}%", program.heap_share * 100.0),
+            ),
+            Row::new(
+                "buffer: share of remote latency",
+                "51.6%",
+                format!("{:.1}%", buffer_share * 100.0),
+            ),
+            Row::new(
+                "buffer allocated in one domain by master",
+                "yes",
+                if bm.per_domain[0] == bm.resolved_samples() { "yes" } else { "no" },
+            ),
+        ],
+    );
+
+    // Figure 8: the overlapping staggered pattern.
+    println!();
+    print!(
+        "{}",
+        render_address_view(&a, buffer, RangeScope::Program, "Fig.8: buffer (whole program)")
+    );
+    println!(
+        "pattern: {} (⇒ regroup sections into AoS + parallel first touch)\n",
+        classify(&a.thread_ranges(buffer, RangeScope::Program)).name()
+    );
+
+    // Figure 9b: the regrouped layout becomes blocked, remote latency gone.
+    println!("profiling the regrouped (Figure 9b) variant…");
+    let opt_app = blackscholes_bench(BlackscholesVariant::Regrouped);
+    let (_, _, opt_profile) = profile_workload(&opt_app, amd(), 48, MechanismKind::Ibs);
+    let oa = Analyzer::new(opt_profile);
+    let obuf = oa.profile().var_by_name("buffer").unwrap().id;
+    print!(
+        "{}",
+        render_address_view(&oa, obuf, RangeScope::Program, "Fig.9b: regrouped buffer")
+    );
+    println!(
+        "pattern: {}\n",
+        classify(&oa.thread_ranges(obuf, RangeScope::Program)).name()
+    );
+    let orem = oa.var_metrics(obuf).latency_remote;
+    let brem = bm.latency_remote;
+
+    // End-to-end: the fix is near-neutral, validating lpi_NUMA. The
+    // paper's runs price options for hundreds of rounds, so input parsing
+    // is negligible; our bounded runs compare the pricing phase.
+    println!("running pricing-phase comparison (unmonitored)…");
+    let price = |variant| {
+        let (_, out) = bare_workload(&blackscholes_bench(variant), amd(), 48);
+        out.phase("price").unwrap()
+    };
+    let base = price(BlackscholesVariant::Baseline);
+    let opt = price(BlackscholesVariant::Regrouped);
+
+    print_comparison(
+        "Blackscholes optimization outcome — paper vs measured",
+        &[
+            Row::new(
+                "buffer remote latency after fix",
+                "~eliminated",
+                format!("{:.1}% of before", orem as f64 / brem.max(1) as f64 * 100.0),
+            ),
+            Row::new(
+                "pricing-phase improvement",
+                "< 0.1%",
+                format!("{:+.2}%", speedup_pct(base, opt)),
+            ),
+        ],
+    );
+    println!(
+        "\nThe trivial end-to-end change despite M_r/M_l = {:.1} validates the lpi_NUMA \
+         severity metric (§8.3).",
+        bm.m_remote as f64 / bm.m_local.max(1) as f64
+    );
+}

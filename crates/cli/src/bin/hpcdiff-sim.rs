@@ -1,0 +1,36 @@
+//! `hpcdiff-sim`: compare two profiles of the same workload (e.g. before
+//! and after a NUMA fix) and report what changed.
+//!
+//! ```text
+//! hpcrun-sim --workload lulesh --variant baseline  --out before.json
+//! hpcrun-sim --workload lulesh --variant blockwise --out after.json
+//! hpcdiff-sim --before before.json --after after.json
+//! ```
+
+use numa_analysis::{diff, Analyzer};
+use numa_profiler::NumaProfile;
+use numa_tools::{die, Args};
+
+const USAGE: &str = "\
+usage: hpcdiff-sim --before PROFILE.json --after PROFILE.json [--format text|json]";
+
+fn load(path: &str) -> Analyzer {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| die(USAGE, &e.to_string()));
+    let profile =
+        NumaProfile::from_json(&json).unwrap_or_else(|e| die(USAGE, &format!("bad profile: {e}")));
+    Analyzer::new(profile)
+}
+
+fn main() {
+    let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
+    args.check_known(&["before", "after", "format"])
+        .unwrap_or_else(|e| die(USAGE, &e));
+    let before = load(args.get("before").unwrap_or_else(|| die(USAGE, "--before is required")));
+    let after = load(args.get("after").unwrap_or_else(|| die(USAGE, "--after is required")));
+    let report = diff(&before, &after);
+    match args.get_or("format", "text") {
+        "text" => print!("{}", report.render()),
+        "json" => println!("{}", report.to_json()),
+        other => die(USAGE, &format!("unknown format {other:?}")),
+    }
+}

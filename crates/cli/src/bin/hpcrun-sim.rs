@@ -1,0 +1,91 @@
+//! `hpcrun-sim`: run a bundled workload under the NUMA profiler and write
+//! the measurement profile as JSON — the simulated analogue of
+//! HPCToolkit's `hpcrun`.
+//!
+//! ```text
+//! hpcrun-sim --workload lulesh --variant baseline --machine amd \
+//!            --mechanism ibs --threads 48 --out lulesh.profile.json
+//! ```
+
+use numa_profiler::ProfilerConfig;
+use numa_sampling::MechanismConfig;
+use numa_sim::ExecMode;
+use numa_tools::{die, parse_machine, parse_mechanism, parse_workload, Args};
+use numa_workloads::run_profiled;
+
+const USAGE: &str = "\
+usage: hpcrun-sim [--workload lulesh|amg2006|blackscholes|umt2013]
+                  [--variant baseline|...]   (per-workload; default baseline)
+                  [--machine amd|power7|harpertown|itanium2|ivybridge]
+                  [--mechanism ibs|mrk|pebs|dear|pebs-ll|soft-ibs]
+                  [--threads N]              (default: all hardware threads)
+                  [--size small|medium|large] (default medium)
+                  [--scale N]                (period scale factor, default 64)
+                  [--bins N]                 (address-centric bins, default 5)
+                  [--mode seq|par]           (default seq)
+                  [--trace CYCLES]           (record a time series, 1 point/CYCLES)
+                  [--out FILE]               (default profile.json)";
+
+fn main() {
+    let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
+    args.check_known(&[
+        "workload", "variant", "machine", "mechanism", "threads", "size", "scale", "bins",
+        "mode", "trace", "out",
+    ])
+    .unwrap_or_else(|e| die(USAGE, &e));
+
+    let machine =
+        parse_machine(args.get_or("machine", "amd")).unwrap_or_else(|e| die(USAGE, &e));
+    let mechanism =
+        parse_mechanism(args.get_or("mechanism", "ibs")).unwrap_or_else(|e| die(USAGE, &e));
+    let workload = parse_workload(
+        args.get_or("workload", "lulesh"),
+        args.get_or("variant", "baseline"),
+        args.get_or("size", "medium"),
+    )
+    .unwrap_or_else(|e| die(USAGE, &e));
+    let default_threads = machine.topology().total_cpus();
+    let threads: usize = args
+        .get_parsed("threads", default_threads)
+        .unwrap_or_else(|e| die(USAGE, &e));
+    let scale: u64 = args.get_parsed("scale", 64).unwrap_or_else(|e| die(USAGE, &e));
+    let bins: u16 = args.get_parsed("bins", 5).unwrap_or_else(|e| die(USAGE, &e));
+    let mode = match args.get_or("mode", "seq") {
+        "seq" => ExecMode::Sequential,
+        "par" => ExecMode::Parallel,
+        other => die(USAGE, &format!("unknown mode {other:?}")),
+    };
+    let out = args.get_or("out", "profile.json").to_string();
+
+    let mut config = ProfilerConfig::new(MechanismConfig::scaled(mechanism, scale))
+        .with_bins(bins)
+        .with_env_bins();
+    if let Some(trace) = args.get("trace") {
+        let cycles: u64 = trace
+            .parse()
+            .map_err(|_| format!("--trace: cannot parse {trace:?}"))
+            .unwrap_or_else(|e: String| die(USAGE, &e));
+        config = config.with_trace(cycles);
+    }
+    eprintln!(
+        "hpcrun-sim: {} ({}) on {} with {} sampling, {} threads…",
+        args.get_or("workload", "lulesh"),
+        args.get_or("variant", "baseline"),
+        machine.topology().name(),
+        mechanism.name(),
+        threads
+    );
+    let (stats, _, profile) = run_profiled(workload.as_ref(), machine, threads, mode, config);
+    eprintln!(
+        "hpcrun-sim: {} cycles ({:.1}% monitoring overhead), {} samples",
+        stats.elapsed_cycles,
+        stats.overhead_fraction() * 100.0,
+        profile
+            .threads
+            .iter()
+            .map(|t| t.totals.samples_mem)
+            .sum::<u64>()
+    );
+    std::fs::write(&out, profile.to_json()).unwrap_or_else(|e| die(USAGE, &e.to_string()));
+    eprintln!("hpcrun-sim: wrote {out}");
+}

@@ -1,0 +1,235 @@
+//! Shared plumbing for the command-line tools.
+//!
+//! The three binaries mirror HPCToolkit's workflow on the simulated
+//! machine:
+//!
+//! * `hpcrun-sim` — run one of the bundled workloads under a chosen
+//!   sampling mechanism and write a profile (JSON);
+//! * `hpcprof-sim` — merge and analyze a profile, print the report;
+//! * `hpcviewer-sim` — render the address-centric view and metric pane
+//!   for a chosen variable (whole program or one parallel region).
+//!
+//! Argument parsing is deliberately dependency-free: `--key value` pairs
+//! only.
+
+use numa_machine::{Machine, MachinePreset};
+use numa_sampling::MechanismKind;
+use numa_workloads::{
+    Amg2006, AmgVariant, Blackscholes, BlackscholesVariant, Lulesh, LuleshVariant, Umt2013,
+    UmtVariant, Workload,
+};
+use std::collections::BTreeMap;
+
+/// Minimal `--key value` argument map.
+pub struct Args {
+    program: String,
+    map: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`. Flags must come in `--key value` pairs.
+    pub fn parse() -> Result<Args, String> {
+        Self::from_iter(std::env::args())
+    }
+
+    /// Parse an explicit argument sequence (first item = program name).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut it = args.into_iter();
+        let program = it.next().unwrap_or_default();
+        let mut map = BTreeMap::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {key:?}"))?
+                .to_string();
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(format!("--{key} given twice"));
+            }
+        }
+        Ok(Args { program, map })
+    }
+
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Keys the caller recognises; anything else is an error (typo guard).
+    pub fn check_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.map.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown flag --{k}; known flags: {}",
+                    known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(" ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse a machine preset name.
+pub fn parse_machine(name: &str) -> Result<Machine, String> {
+    let preset = match name.to_ascii_lowercase().as_str() {
+        "amd" | "magny-cours" | "magnycours" => MachinePreset::AmdMagnyCours,
+        "power7" | "ibm" => MachinePreset::IbmPower7,
+        "harpertown" => MachinePreset::IntelHarpertown,
+        "itanium" | "itanium2" => MachinePreset::IntelItanium2,
+        "ivybridge" | "ivy-bridge" => MachinePreset::IntelIvyBridge,
+        other => return Err(format!("unknown machine {other:?} (amd, power7, harpertown, itanium2, ivybridge)")),
+    };
+    Ok(Machine::from_preset(preset))
+}
+
+/// Parse a mechanism name.
+pub fn parse_mechanism(name: &str) -> Result<MechanismKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "ibs" => MechanismKind::Ibs,
+        "mrk" => MechanismKind::Mrk,
+        "pebs" => MechanismKind::Pebs,
+        "dear" => MechanismKind::Dear,
+        "pebs-ll" | "pebsll" => MechanismKind::PebsLl,
+        "soft-ibs" | "softibs" => MechanismKind::SoftIbs,
+        other => {
+            return Err(format!(
+                "unknown mechanism {other:?} (ibs, mrk, pebs, dear, pebs-ll, soft-ibs)"
+            ))
+        }
+    })
+}
+
+/// Build one of the bundled workloads from `--workload`, `--variant`, and
+/// `--size` (a small/medium/large knob).
+pub fn parse_workload(name: &str, variant: &str, size: &str) -> Result<Box<dyn Workload>, String> {
+    let sz = match size {
+        "small" => 0,
+        "medium" => 1,
+        "large" => 2,
+        other => return Err(format!("unknown size {other:?} (small, medium, large)")),
+    };
+    let w: Box<dyn Workload> = match name.to_ascii_lowercase().as_str() {
+        "lulesh" => {
+            let v = match variant {
+                "baseline" => LuleshVariant::Baseline,
+                "interleaved" => LuleshVariant::Interleaved,
+                "blockwise" | "block-wise" => LuleshVariant::BlockWise,
+                other => return Err(format!("unknown LULESH variant {other:?}")),
+            };
+            let edge = [20, 40, 88][sz];
+            Box::new(Lulesh::new(edge, 3, v))
+        }
+        "amg2006" | "amg" => {
+            let v = match variant {
+                "baseline" => AmgVariant::Baseline,
+                "interleaved" => AmgVariant::InterleavedAll,
+                "guided" => AmgVariant::Guided,
+                other => return Err(format!("unknown AMG variant {other:?}")),
+            };
+            let rows = [32 * 1024, 96 * 1024, 192 * 1024][sz];
+            Box::new(Amg2006::new(rows, 2, v))
+        }
+        "blackscholes" | "bs" => {
+            let v = match variant {
+                "baseline" => BlackscholesVariant::Baseline,
+                "regrouped" => BlackscholesVariant::Regrouped,
+                other => return Err(format!("unknown Blackscholes variant {other:?}")),
+            };
+            let opts = [256, 1024, 4096][sz];
+            Box::new(Blackscholes::new(opts, 20, v))
+        }
+        "umt2013" | "umt" => {
+            let v = match variant {
+                "baseline" => UmtVariant::Baseline,
+                "parallel-init" | "parallelfirsttouch" => UmtVariant::ParallelFirstTouch,
+                other => return Err(format!("unknown UMT variant {other:?}")),
+            };
+            let angles = [64, 128, 256][sz];
+            Box::new(Umt2013::new(16, 64, angles, 2, v))
+        }
+        other => {
+            return Err(format!(
+                "unknown workload {other:?} (lulesh, amg2006, blackscholes, umt2013)"
+            ))
+        }
+    };
+    Ok(w)
+}
+
+/// Exit with a usage message.
+pub fn die(usage: &str, err: &str) -> ! {
+    eprintln!("error: {err}\n\n{usage}");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_of(s: &str) -> Result<Args, String> {
+        Args::from_iter(std::iter::once("prog".to_string()).chain(s.split_whitespace().map(String::from)))
+    }
+
+    #[test]
+    fn args_parse_key_value_pairs() {
+        let a = args_of("--workload lulesh --threads 48").unwrap();
+        assert_eq!(a.get("workload"), Some("lulesh"));
+        assert_eq!(a.get_parsed("threads", 0usize).unwrap(), 48);
+        assert_eq!(a.get_or("machine", "amd"), "amd");
+        assert_eq!(a.program(), "prog");
+    }
+
+    #[test]
+    fn args_reject_malformed_input() {
+        assert!(args_of("workload lulesh").is_err(), "missing --");
+        assert!(args_of("--workload").is_err(), "missing value");
+        assert!(args_of("--a 1 --a 2").is_err(), "duplicate flag");
+        let a = args_of("--threads banana").unwrap();
+        assert!(a.get_parsed("threads", 0usize).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_flagged() {
+        let a = args_of("--workload lulesh --bogus 1").unwrap();
+        assert!(a.check_known(&["workload"]).is_err());
+        assert!(a.check_known(&["workload", "bogus"]).is_ok());
+    }
+
+    #[test]
+    fn machine_names_parse() {
+        assert_eq!(parse_machine("amd").unwrap().topology().domains(), 8);
+        assert_eq!(parse_machine("power7").unwrap().topology().domains(), 4);
+        assert!(parse_machine("vax").is_err());
+    }
+
+    #[test]
+    fn mechanism_names_parse() {
+        assert_eq!(parse_mechanism("ibs").unwrap(), MechanismKind::Ibs);
+        assert_eq!(parse_mechanism("PEBS-LL").unwrap(), MechanismKind::PebsLl);
+        assert!(parse_mechanism("magic").is_err());
+    }
+
+    #[test]
+    fn workloads_parse() {
+        assert!(parse_workload("lulesh", "baseline", "small").is_ok());
+        assert!(parse_workload("amg", "guided", "medium").is_ok());
+        assert!(parse_workload("bs", "regrouped", "small").is_ok());
+        assert!(parse_workload("umt", "parallel-init", "small").is_ok());
+        assert!(parse_workload("doom", "baseline", "small").is_err());
+        assert!(parse_workload("lulesh", "baseline", "huge").is_err());
+    }
+}

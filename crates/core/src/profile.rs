@@ -1,0 +1,100 @@
+//! The serialized output of one monitored execution: what `hpcrun` writes
+//! and the offline analyzer (crate `numa-analysis`) consumes.
+
+use crate::addrcentric::{RangeKey, RangeStat};
+use crate::cct::Cct;
+use crate::datacentric::{VarId, VarRecord};
+use crate::firsttouch::FirstTouchRecord;
+use crate::metrics::MetricSet;
+use crate::trace::Trace;
+use numa_machine::{CpuId, DomainId};
+use numa_sampling::{Capabilities, MechanismKind};
+use serde::{Deserialize, Serialize};
+
+/// One thread's measurement data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThreadProfile {
+    pub tid: usize,
+    pub cpu: CpuId,
+    pub domain: DomainId,
+    /// Per-thread calling context tree with exclusive metrics on nodes.
+    pub cct: Cct,
+    /// Whole-thread metric totals.
+    pub totals: MetricSet,
+    /// Absolute instructions retired (conventional PMU counter; the `I` of
+    /// Eq. 3).
+    pub instructions: u64,
+    /// Absolute eligible-event count from the mechanism's event counter
+    /// (the `E_NUMA` of Eq. 3; 0 for mechanisms without one).
+    pub numa_events: u64,
+    /// Data-centric metrics per variable.
+    pub var_metrics: Vec<(VarId, MetricSet)>,
+    /// Address-centric [min,max] ranges per (variable, bin, scope).
+    pub ranges: Vec<(RangeKey, RangeStat)>,
+    /// Time series of cumulative NUMA counters (empty unless tracing was
+    /// enabled). Optional in the on-disk format for compatibility with
+    /// profiles written before tracing existed.
+    #[serde(default)]
+    pub trace: Trace,
+}
+
+/// Full profile of one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NumaProfile {
+    pub mechanism: MechanismKind,
+    pub capabilities: Capabilities,
+    /// NUMA domains of the machine measured on.
+    pub domains: usize,
+    pub machine_name: String,
+    /// Function names indexed by `FuncId`.
+    pub func_names: Vec<String>,
+    /// All monitored variables.
+    pub vars: Vec<VarRecord>,
+    pub threads: Vec<ThreadProfile>,
+    /// First-touch records (§6), across all threads.
+    pub first_touches: Vec<FirstTouchRecord>,
+}
+
+impl NumaProfile {
+    /// Name of a function id (for report rendering).
+    pub fn func_name(&self, id: numa_sim::FuncId) -> &str {
+        self.func_names
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Variable record by id.
+    pub fn var(&self, id: VarId) -> &VarRecord {
+        &self.vars[id.0 as usize]
+    }
+
+    /// Look up a variable by source name (first match).
+    pub fn var_by_name(&self, name: &str) -> Option<&VarRecord> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Total sampled-instruction count across threads (`I^s`).
+    pub fn total_instruction_samples(&self) -> u64 {
+        self.threads.iter().map(|t| t.totals.samples_instr).sum()
+    }
+
+    /// Total absolute instructions across threads (`I`).
+    pub fn total_instructions(&self) -> u64 {
+        self.threads.iter().map(|t| t.instructions).sum()
+    }
+
+    /// Serialize to JSON (the on-disk profile format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("profile serializes")
+    }
+
+    /// Deserialize from JSON, rebuilding CCT indices.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let mut p: NumaProfile = serde_json::from_str(s)?;
+        for t in &mut p.threads {
+            t.cct.rebuild_index();
+        }
+        Ok(p)
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-domain memory controllers with windowed bandwidth-contention
+//! estimation.
+//!
+//! The paper (§2) motivates *contention reduction*: when memory requests are
+//! unevenly distributed — e.g. a large array bound entirely to one domain —
+//! the interconnect and that domain's memory controller saturate, inflating
+//! access latency by as much as 5×. We model this with a sliding window over
+//! DRAM requests: each controller's *share* of the previous window's traffic
+//! drives a latency multiplier (computed by
+//! [`LatencyModel::contention_multiplier`](crate::latency::LatencyModel::contention_multiplier)).
+//!
+//! Only DRAM accesses are recorded; cache hits do not consume controller
+//! bandwidth in this model.
+
+use crate::ids::DomainId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache-line padded counter to avoid false sharing between domains.
+#[repr(align(64))]
+struct Padded(AtomicU64);
+
+impl Padded {
+    fn new() -> Self {
+        Padded(AtomicU64::new(0))
+    }
+}
+
+/// Default window length in DRAM requests. Short enough to track program
+/// phases, long enough to smooth noise; the `ablation_contention` bench
+/// sweeps this.
+pub const DEFAULT_WINDOW: u64 = 1 << 16;
+
+/// Windowed per-domain DRAM request accounting.
+pub struct MemoryControllers {
+    domains: usize,
+    window: u64,
+    /// Requests per domain in the current window.
+    current: Vec<Padded>,
+    /// Snapshot of the completed previous window.
+    prev: Vec<AtomicU64>,
+    prev_total: AtomicU64,
+    /// Total DRAM requests ever (also drives window rollover).
+    total: AtomicU64,
+    /// Lifetime per-domain totals, for reports.
+    lifetime: Vec<Padded>,
+}
+
+impl MemoryControllers {
+    pub fn new(domains: usize) -> Self {
+        Self::with_window(domains, DEFAULT_WINDOW)
+    }
+
+    pub fn with_window(domains: usize, window: u64) -> Self {
+        assert!(domains >= 1);
+        assert!(window >= 1);
+        MemoryControllers {
+            domains,
+            window,
+            current: (0..domains).map(|_| Padded::new()).collect(),
+            prev: (0..domains).map(|_| AtomicU64::new(0)).collect(),
+            prev_total: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            lifetime: (0..domains).map(|_| Padded::new()).collect(),
+        }
+    }
+
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Record one DRAM request served by `domain`. On window rollover the
+    /// crossing thread publishes the window's per-domain counts as the new
+    /// contention baseline. Counting is relaxed: under parallel execution the
+    /// snapshot is approximate, which is acceptable for a contention
+    /// *estimate*; under sequential execution it is exact and deterministic.
+    pub fn record(&self, domain: DomainId) {
+        debug_assert!(domain.index() < self.domains);
+        self.current[domain.index()].0.fetch_add(1, Ordering::Relaxed);
+        self.lifetime[domain.index()].0.fetch_add(1, Ordering::Relaxed);
+        let n = self.total.fetch_add(1, Ordering::Relaxed) + 1;
+        if n % self.window == 0 {
+            self.rollover();
+        }
+    }
+
+    fn rollover(&self) {
+        let mut total = 0;
+        for d in 0..self.domains {
+            let v = self.current[d].0.swap(0, Ordering::Relaxed);
+            self.prev[d].store(v, Ordering::Relaxed);
+            total += v;
+        }
+        self.prev_total.store(total, Ordering::Relaxed);
+    }
+
+    /// Share of the previous window's DRAM traffic served by `domain`, in
+    /// `[0, 1]`. Before the first rollover (cold start) this is the balanced
+    /// share `1/domains`, i.e. no contention is assumed.
+    pub fn share(&self, domain: DomainId) -> f64 {
+        let total = self.prev_total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 1.0 / self.domains as f64;
+        }
+        self.prev[domain.index()].load(Ordering::Relaxed) as f64 / total as f64
+    }
+
+    /// Total DRAM requests recorded so far.
+    pub fn total_requests(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime DRAM requests per domain.
+    pub fn lifetime_histogram(&self) -> Vec<u64> {
+        self.lifetime
+            .iter()
+            .map(|p| p.0.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Reset all counters (between experiment phases).
+    pub fn reset(&self) {
+        for d in 0..self.domains {
+            self.current[d].0.store(0, Ordering::Relaxed);
+            self.prev[d].store(0, Ordering::Relaxed);
+            self.lifetime[d].0.store(0, Ordering::Relaxed);
+        }
+        self.prev_total.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_assumes_balance() {
+        let c = MemoryControllers::with_window(8, 16);
+        assert!((c.share(DomainId(0)) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_domain_traffic_yields_full_share_after_rollover() {
+        let c = MemoryControllers::with_window(4, 8);
+        for _ in 0..8 {
+            c.record(DomainId(2));
+        }
+        assert!((c.share(DomainId(2)) - 1.0).abs() < 1e-12);
+        assert!((c.share(DomainId(0)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_traffic_yields_fair_shares() {
+        let c = MemoryControllers::with_window(4, 8);
+        for i in 0..16u64 {
+            c.record(DomainId((i % 4) as u8));
+        }
+        for d in 0..4 {
+            assert!((c.share(DomainId(d)) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn share_tracks_most_recent_window_only() {
+        let c = MemoryControllers::with_window(2, 4);
+        // Window 1: all to domain 0.
+        for _ in 0..4 {
+            c.record(DomainId(0));
+        }
+        assert!((c.share(DomainId(0)) - 1.0).abs() < 1e-12);
+        // Window 2: all to domain 1 — after rollover the baseline flips.
+        for _ in 0..4 {
+            c.record(DomainId(1));
+        }
+        assert!((c.share(DomainId(1)) - 1.0).abs() < 1e-12);
+        assert!((c.share(DomainId(0)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_histogram_accumulates() {
+        let c = MemoryControllers::with_window(2, 1024);
+        for _ in 0..3 {
+            c.record(DomainId(0));
+        }
+        c.record(DomainId(1));
+        assert_eq!(c.lifetime_histogram(), vec![3, 1]);
+        assert_eq!(c.total_requests(), 4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let c = MemoryControllers::with_window(2, 2);
+        for _ in 0..4 {
+            c.record(DomainId(1));
+        }
+        c.reset();
+        assert_eq!(c.total_requests(), 0);
+        assert!((c.share(DomainId(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_totals_add_up() {
+        use std::sync::Arc;
+        let c = Arc::new(MemoryControllers::with_window(4, 64));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.record(DomainId(t));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.total_requests(), 40_000);
+        assert_eq!(c.lifetime_histogram(), vec![10_000; 4]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Address-sampling mechanisms (paper §3).
+//!
+//! Address sampling collects (instruction, data address) pairs so memory
+//! references can be associated with the data they touch. The paper builds
+//! its profiler on six mechanisms — five hardware schemes plus a software
+//! fallback — and §10 catalogues how their semantics differ. This crate
+//! models each one as a [`SamplingMechanism`] driven by the execution
+//! engine's event stream:
+//!
+//! | Mechanism | Samples | Latency | Data source | Precise IP |
+//! |-----------|---------|---------|-------------|------------|
+//! | IBS       | all instructions | yes | yes | yes |
+//! | MRK       | marked L3-miss events | no | yes | yes |
+//! | PEBS      | all retired instructions | no | no | off-by-1, corrected in software |
+//! | DEAR      | loads with latency ≥ threshold | no | no (no NUMA events) | yes |
+//! | PEBS-LL   | loads with latency ≥ threshold | yes | yes | yes |
+//! | Soft-IBS  | every n-th memory access (instrumentation) | no | no | yes |
+//!
+//! Each mechanism carries an overhead model — cycles charged per delivered
+//! sample (signal delivery, unwinding, `move_pages`) and, for Soft-IBS,
+//! per instrumented access — which is what reproduces Table 2.
+
+pub mod config;
+pub mod mechanism;
+pub mod mechanisms;
+pub mod sample;
+
+pub use config::{MechanismConfig, Table1Row};
+pub use mechanism::{
+    AccessOutcome, Capabilities, ComputeOutcome, MechanismKind, SamplingMechanism,
+};
+pub use sample::Sample;

@@ -1,0 +1,328 @@
+//! The sampling-mechanism interface.
+
+use crate::sample::Sample;
+use numa_sim::MemoryEvent;
+use serde::{Deserialize, Serialize};
+
+/// The six mechanisms of §3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// Instruction-based sampling — AMD Opteron family.
+    Ibs,
+    /// Marked event sampling — IBM POWER5+.
+    Mrk,
+    /// Precise event-based sampling — Intel Pentium 4+.
+    Pebs,
+    /// Data event address registers — Intel Itanium.
+    Dear,
+    /// PEBS with load-latency extension — Intel Nehalem+.
+    PebsLl,
+    /// Software instrumentation of every memory access.
+    SoftIbs,
+}
+
+impl MechanismKind {
+    pub const ALL: [MechanismKind; 6] = [
+        MechanismKind::Ibs,
+        MechanismKind::Mrk,
+        MechanismKind::Pebs,
+        MechanismKind::Dear,
+        MechanismKind::PebsLl,
+        MechanismKind::SoftIbs,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MechanismKind::Ibs => "IBS",
+            MechanismKind::Mrk => "MRK",
+            MechanismKind::Pebs => "PEBS",
+            MechanismKind::Dear => "DEAR",
+            MechanismKind::PebsLl => "PEBS-LL",
+            MechanismKind::SoftIbs => "Soft-IBS",
+        }
+    }
+
+    /// Full name as printed in Table 1's first column.
+    pub fn long_name(self) -> &'static str {
+        match self {
+            MechanismKind::Ibs => "Instruction-based sampling (IBS)",
+            MechanismKind::Mrk => "Marked event sampling (MRK)",
+            MechanismKind::Pebs => "Precise event-based sampling (PEBS)",
+            MechanismKind::Dear => "Data event address registers (DEAR)",
+            MechanismKind::PebsLl => "PEBS with load latency (PEBS-LL)",
+            MechanismKind::SoftIbs => "Software-supported IBS (Soft-IBS)",
+        }
+    }
+}
+
+/// What a mechanism's hardware can capture (§3's three capabilities plus
+/// the §10 comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// IBS/PEBS sample the whole instruction stream (useful: the
+    /// memory-instruction fraction and `I^s` come for free); event-based
+    /// mechanisms see only their trigger events.
+    pub samples_all_instructions: bool,
+    /// Measures access latency (IBS, PEBS-LL) — enables `lpi_NUMA` (§4.2).
+    pub latency: bool,
+    /// Reports the data source / NUMA events (not DEAR).
+    pub data_source: bool,
+    /// Captures the exact IP of the sampled instruction (PEBS is off by
+    /// one).
+    pub precise_ip: bool,
+}
+
+impl Capabilities {
+    pub fn for_kind(kind: MechanismKind) -> Self {
+        match kind {
+            MechanismKind::Ibs => Capabilities {
+                samples_all_instructions: true,
+                latency: true,
+                data_source: true,
+                precise_ip: true,
+            },
+            MechanismKind::Mrk => Capabilities {
+                samples_all_instructions: false,
+                latency: false,
+                data_source: true,
+                precise_ip: true,
+            },
+            MechanismKind::Pebs => Capabilities {
+                samples_all_instructions: true,
+                latency: false,
+                data_source: false,
+                precise_ip: false,
+            },
+            MechanismKind::Dear => Capabilities {
+                samples_all_instructions: false,
+                latency: false,
+                data_source: false,
+                precise_ip: true,
+            },
+            MechanismKind::PebsLl => Capabilities {
+                samples_all_instructions: false,
+                latency: true,
+                data_source: true,
+                precise_ip: true,
+            },
+            MechanismKind::SoftIbs => Capabilities {
+                samples_all_instructions: false,
+                latency: false,
+                data_source: false,
+                precise_ip: true,
+            },
+        }
+    }
+}
+
+/// Result of feeding a block of non-memory instructions to a mechanism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ComputeOutcome {
+    /// Samples that fired on non-memory instructions (they carry no
+    /// address but count into the sampled-instruction total `I^s`).
+    pub instruction_samples: u64,
+    /// Monitoring cycles to charge.
+    pub overhead: u64,
+}
+
+/// Result of feeding one memory access to a mechanism.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccessOutcome {
+    /// The sample, if this access was selected.
+    pub sample: Option<Sample>,
+    /// Monitoring cycles to charge (per-sample costs, and for Soft-IBS the
+    /// per-access instrumentation cost).
+    pub overhead: u64,
+}
+
+/// A per-thread sampling engine. Mechanisms are stateful (period counters)
+/// and owned one-per-thread, mirroring per-CPU PMU state; they therefore
+/// need `Send` but not `Sync`.
+pub trait SamplingMechanism: Send {
+    fn kind(&self) -> MechanismKind;
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::for_kind(self.kind())
+    }
+
+    /// Observe `n` non-memory instructions retiring.
+    fn on_compute(&mut self, n: u64) -> ComputeOutcome;
+
+    /// Observe one memory access (which also retires one instruction).
+    fn on_access(&mut self, ev: &MemoryEvent) -> AccessOutcome;
+
+    /// Value of the mechanism's hardware event counter: the *absolute*
+    /// number of eligible events observed (sampled or not), as a PMU
+    /// counter would report. PEBS-LL's `E_NUMA` in Eq. 3 comes from here.
+    /// Mechanisms without a meaningful event counter return 0.
+    fn event_count(&self) -> u64 {
+        0
+    }
+}
+
+/// Period counter shared by all mechanisms: fires roughly once per
+/// `period` ticks.
+///
+/// With jitter enabled (the default for real configurations), each arming
+/// interval is drawn uniformly from `[3/4·period, 5/4·period]` using a
+/// deterministic per-counter PRNG — mirroring how IBS/PEBS randomize their
+/// counters. §3 requires that "memory accesses are uniformly sampled":
+/// a strictly periodic counter aliases with periodic access patterns (e.g.
+/// a loop alternating two arrays under an even period samples only one of
+/// them), which jitter prevents.
+#[derive(Clone, Debug)]
+pub(crate) struct PeriodCounter {
+    period: u64,
+    count: u64,
+    next_arm: u64,
+    rng: u64,
+    jitter: bool,
+}
+
+/// Per-process uniquifier so each counter (one per thread) jitters
+/// differently.
+static COUNTER_SEED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0x9e37);
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl PeriodCounter {
+    /// Jittered counter (production behaviour).
+    #[cfg(test)]
+    pub fn new(period: u64) -> Self {
+        Self::with_jitter(period, true)
+    }
+
+    pub fn with_jitter(period: u64, jitter: bool) -> Self {
+        assert!(period >= 1, "sampling period must be positive");
+        let seed = COUNTER_SEED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut c = PeriodCounter {
+            period,
+            count: 0,
+            next_arm: period,
+            rng: splitmix(seed),
+            jitter,
+        };
+        c.rearm();
+        c
+    }
+
+    fn rearm(&mut self) {
+        // Periods below 4 cannot meaningfully jitter.
+        if !self.jitter || self.period < 4 {
+            self.next_arm = self.period;
+            return;
+        }
+        self.rng = splitmix(self.rng);
+        let spread = self.period / 2; // ± period/4
+        self.next_arm = self.period - spread / 2 + self.rng % (spread + 1);
+    }
+
+    /// Advance by `n` ticks; returns how many times the counter fired.
+    pub fn add(&mut self, n: u64) -> u64 {
+        self.count += n;
+        let mut fires = 0;
+        while self.count >= self.next_arm {
+            self.count -= self.next_arm;
+            self.rearm();
+            fires += 1;
+        }
+        fires
+    }
+
+    /// Advance by one tick; true if the counter fired.
+    pub fn tick(&mut self) -> bool {
+        self.add(1) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unjittered_counter_fires_at_exact_rate() {
+        let mut c = PeriodCounter::with_jitter(10, false);
+        let mut fires = 0;
+        for _ in 0..100 {
+            if c.tick() {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 10);
+    }
+
+    #[test]
+    fn jittered_counter_fires_at_the_right_average_rate() {
+        let mut c = PeriodCounter::new(100);
+        let fires = c.add(1_000_000);
+        let expectation = 1_000_000 / 100;
+        assert!(
+            (fires as i64 - expectation as i64).unsigned_abs() < expectation / 10,
+            "fires {fires} vs ~{expectation}"
+        );
+    }
+
+    #[test]
+    fn jittered_counter_breaks_phase_alignment() {
+        // Two counters with the same period must not fire in lockstep —
+        // that lockstep is exactly what biases sampling of periodic access
+        // streams (§3's uniformity requirement).
+        let mut a = PeriodCounter::new(64);
+        let mut b = PeriodCounter::new(64);
+        let mut same = 0;
+        let mut total = 0;
+        for _ in 0..100_000 {
+            let fa = a.tick();
+            let fb = b.tick();
+            if fa || fb {
+                total += 1;
+                if fa == fb {
+                    same += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            (same as f64) < 0.5 * total as f64,
+            "counters fired together {same}/{total}"
+        );
+    }
+
+    #[test]
+    fn period_counter_bulk_add_matches_ticks() {
+        let mut a = PeriodCounter::with_jitter(7, false);
+        let mut b = PeriodCounter::with_jitter(7, false);
+        let mut fa = 0;
+        for _ in 0..1000 {
+            if a.tick() {
+                fa += 1;
+            }
+        }
+        let fb = b.add(1000);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn capabilities_match_paper_table() {
+        use MechanismKind::*;
+        // §4.2: only IBS and PEBS-LL measure latency.
+        for k in MechanismKind::ALL {
+            let c = Capabilities::for_kind(k);
+            assert_eq!(c.latency, matches!(k, Ibs | PebsLl), "{k:?}");
+        }
+        // §10: DEAR does not support NUMA events.
+        assert!(!Capabilities::for_kind(Dear).data_source);
+        // §8: PEBS needs off-by-1 correction.
+        assert!(!Capabilities::for_kind(Pebs).precise_ip);
+        // §10: IBS and PEBS sample all instruction kinds.
+        assert!(Capabilities::for_kind(Ibs).samples_all_instructions);
+        assert!(Capabilities::for_kind(Pebs).samples_all_instructions);
+        assert!(!Capabilities::for_kind(Mrk).samples_all_instructions);
+    }
+}

@@ -1,0 +1,158 @@
+//! Shared per-domain last-level caches.
+//!
+//! Each NUMA domain has one L3 shared by its cores. Under parallel execution
+//! multiple worker threads access a domain's L3 concurrently, so the cache is
+//! sharded by set index: a line's set picks its shard, and each shard is an
+//! independently locked [`Cache`]. Contention is bounded by the shard count
+//! and sets never migrate between shards, so behaviour matches an unsharded
+//! cache exactly.
+
+use crate::cache::{Cache, CacheConfig, LINE_SHIFT};
+use numa_machine::DomainId;
+use parking_lot::Mutex;
+
+/// Number of independently locked shards per L3.
+const SHARDS: usize = 16;
+
+/// One domain's shared L3.
+pub struct SharedL3 {
+    shards: Vec<Mutex<Cache>>,
+    shard_mask: u64,
+}
+
+impl SharedL3 {
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets() % SHARDS == 0, "sets must divide into shards");
+        let per_shard_sets = config.sets() / SHARDS;
+        let per_shard =
+            CacheConfig::new((per_shard_sets * config.associativity) as u64 * 64, config.associativity);
+        SharedL3 {
+            shards: (0..SHARDS).map(|_| Mutex::new(Cache::new(per_shard))).collect(),
+            shard_mask: SHARDS as u64 - 1,
+        }
+    }
+
+    /// Split an address into (shard index, shard-local address). The low
+    /// line-number bits pick the shard and are *removed* from the address
+    /// handed to the shard's cache, so every set of every shard is
+    /// reachable and total capacity equals the configured size.
+    #[inline]
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> LINE_SHIFT;
+        let shard = (line & self.shard_mask) as usize;
+        let local = (line >> SHARDS.trailing_zeros()) << LINE_SHIFT;
+        (shard, local)
+    }
+
+    /// Access (lookup + fill on miss). Returns true on hit.
+    pub fn access(&self, addr: u64) -> bool {
+        let (shard, local) = self.split(addr);
+        self.shards[shard].lock().access(local)
+    }
+
+    /// Presence check without fill or LRU update.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (shard, local) = self.split(addr);
+        self.shards[shard].lock().probe(local)
+    }
+
+    pub fn flush(&self) {
+        for s in &self.shards {
+            s.lock().flush();
+        }
+    }
+
+    pub fn footprint_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().footprint_bytes()).sum()
+    }
+}
+
+/// The set of all L3 caches of a machine, indexed by domain.
+pub struct L3Complex {
+    caches: Vec<SharedL3>,
+}
+
+impl L3Complex {
+    pub fn new(domains: usize, config: CacheConfig) -> Self {
+        L3Complex {
+            caches: (0..domains).map(|_| SharedL3::new(config)).collect(),
+        }
+    }
+
+    pub fn domain(&self, d: DomainId) -> &SharedL3 {
+        &self.caches[d.index()]
+    }
+
+    pub fn flush(&self) {
+        for c in &self.caches {
+            c.flush();
+        }
+    }
+
+    pub fn footprint_bytes(&self) -> usize {
+        self.caches.iter().map(|c| c.footprint_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_across_shards() {
+        let l3 = SharedL3::new(CacheConfig::l3());
+        for i in 0..64u64 {
+            assert!(!l3.access(i * 64));
+        }
+        for i in 0..64u64 {
+            assert!(l3.access(i * 64), "line {i} missing");
+        }
+    }
+
+    #[test]
+    fn probe_is_passive() {
+        let l3 = SharedL3::new(CacheConfig::l3());
+        assert!(!l3.probe(0x40));
+        assert!(!l3.access(0x40));
+        assert!(l3.probe(0x40));
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        let complex = L3Complex::new(2, CacheConfig::l3());
+        complex.domain(DomainId(0)).access(0x1000);
+        assert!(complex.domain(DomainId(0)).probe(0x1000));
+        assert!(!complex.domain(DomainId(1)).probe(0x1000));
+    }
+
+    #[test]
+    fn full_configured_capacity_is_usable() {
+        // Regression: shard selection must not alias with set indexing,
+        // otherwise only 1/SHARDS of the sets are reachable.
+        let l3 = SharedL3::new(CacheConfig::l3());
+        let lines = (8 * 1024 * 1024 / 64) as u64;
+        for i in 0..lines {
+            l3.access(i * 64);
+        }
+        let present = (0..lines).filter(|&i| l3.probe(i * 64)).count();
+        assert_eq!(present as u64, lines, "a just-filled cache retains its capacity");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let l3 = Arc::new(SharedL3::new(CacheConfig::l3()));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let l3 = Arc::clone(&l3);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    l3.access((t * 1_000_000 + i) * 64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

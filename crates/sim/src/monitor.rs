@@ -1,0 +1,82 @@
+//! The monitor interface: how a profiler observes an execution.
+//!
+//! The engine calls a [`Monitor`] synchronously for every observable action.
+//! Each callback returns the number of *monitoring overhead cycles* to charge
+//! to the acting thread's clock — this is how Table 2's overhead percentages
+//! are reproduced: a sampling mechanism pays per-sample costs (signal
+//! delivery, stack unwinding, `move_pages` queries) and, for instrumentation
+//! based schemes like Soft-IBS, per-event costs.
+
+use crate::event::{AllocInfo, MemoryEvent, PageFaultEvent};
+use crate::func::Frame;
+use numa_machine::{CpuId, DomainId};
+
+/// Observer of a simulated execution. All methods have no-op defaults, so a
+/// monitor implements only what it needs.
+///
+/// Methods may be called concurrently from different worker threads, but for
+/// a fixed `tid` calls are strictly sequential (the engine is the only
+/// caller and each virtual thread is driven by one worker).
+pub trait Monitor: Send + Sync {
+    /// A virtual thread came online, bound to `cpu` in `domain`.
+    fn on_thread_start(&self, tid: usize, cpu: CpuId, domain: DomainId) {
+        let _ = (tid, cpu, domain);
+    }
+
+    /// An allocation (heap, static, or stack) with the allocating call path.
+    /// Returns overhead cycles (e.g. the cost of installing page protection
+    /// for first-touch trapping).
+    fn on_alloc(&self, info: &AllocInfo<'_>, stack: &[Frame]) -> u64 {
+        let _ = (info, stack);
+        0
+    }
+
+    /// A deallocation. Returns overhead cycles.
+    fn on_free(&self, tid: usize, addr: u64) -> u64 {
+        let _ = (tid, addr);
+        0
+    }
+
+    /// `n` non-memory instructions retired by `tid`. Returns overhead
+    /// cycles (e.g. samples that fire inside the block).
+    fn on_compute(&self, tid: usize, n: u64, stack: &[Frame]) -> u64 {
+        let _ = (tid, n, stack);
+        0
+    }
+
+    /// A memory access completed. Returns overhead cycles.
+    fn on_access(&self, ev: &MemoryEvent, stack: &[Frame]) -> u64 {
+        let _ = (ev, stack);
+        0
+    }
+
+    /// A protected page was touched for the first time (§6). Returns
+    /// overhead cycles (the SIGSEGV handler's work).
+    fn on_page_fault(&self, fault: &PageFaultEvent, stack: &[Frame]) -> u64 {
+        let _ = (fault, stack);
+        0
+    }
+
+    /// A virtual thread finished with its final clock value.
+    fn on_thread_end(&self, tid: usize, clock: u64) {
+        let _ = (tid, clock);
+    }
+}
+
+/// Monitor that observes nothing and charges nothing — used for baseline
+/// (unmonitored) runs when measuring overhead.
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_monitor_charges_zero() {
+        let m = NullMonitor;
+        assert_eq!(m.on_free(0, 0), 0);
+        assert_eq!(m.on_compute(0, 100, &[]), 0);
+    }
+}

@@ -1,0 +1,568 @@
+//! The program engine: fork-join execution of simulated multithreaded
+//! programs.
+//!
+//! A [`Program`] owns one virtual thread per software thread, each pinned to
+//! a hardware thread of the machine. Workloads are sequences of `serial`
+//! (master-thread) and `parallel` (OpenMP-style) regions. After every region
+//! the engine joins at a barrier: all thread clocks advance to the slowest
+//! participant, which is how fork-join programs actually spend time.
+//!
+//! Two execution modes:
+//!
+//! * [`ExecMode::Parallel`] — one OS thread per virtual thread
+//!   (`std::thread::scope`); shared L3s and contention counters are touched
+//!   concurrently, so timings are realistic but not bit-reproducible.
+//! * [`ExecMode::Sequential`] — virtual threads run one after another;
+//!   fully deterministic, used by tests and by experiments that must
+//!   reproduce exactly.
+
+use crate::event::VarKind;
+use crate::func::{FrameKind, FuncRegistry};
+use crate::l3::L3Complex;
+use crate::monitor::{Monitor, NullMonitor};
+use crate::space::AddressSpace;
+use crate::thread::{ThreadCtx, ThreadState};
+use numa_machine::{CpuId, Machine};
+use std::sync::Arc;
+
+/// How parallel regions execute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Real OS threads; fast and realistic, mildly nondeterministic.
+    Parallel,
+    /// One thread at a time; deterministic.
+    Sequential,
+}
+
+/// Environment shared by all virtual threads of one program.
+pub struct SharedEnv {
+    pub(crate) machine: Machine,
+    pub(crate) l3: L3Complex,
+    pub(crate) space: AddressSpace,
+    pub(crate) funcs: FuncRegistry,
+    pub(crate) monitor: Arc<dyn Monitor>,
+    pub(crate) num_threads: usize,
+}
+
+/// Aggregate execution statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Fork-join elapsed time: the synchronized clock after the last region.
+    pub elapsed_cycles: u64,
+    /// Elapsed time with all monitoring overhead removed from every
+    /// thread's critical path (the "without monitoring" column of Table 2 —
+    /// exact here because monitoring adds no memory traffic in the model).
+    pub baseline_cycles: u64,
+    /// Total instructions retired across threads.
+    pub instructions: u64,
+    /// Total memory accesses across threads.
+    pub mem_accesses: u64,
+}
+
+impl ProgramStats {
+    /// Monitoring overhead as a fraction of baseline time (Table 2's
+    /// percentage).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            return 0.0;
+        }
+        (self.elapsed_cycles as f64 - self.baseline_cycles as f64) / self.baseline_cycles as f64
+    }
+}
+
+/// A simulated multithreaded program execution.
+pub struct Program {
+    env: SharedEnv,
+    threads: Vec<ThreadState>,
+    mode: ExecMode,
+    elapsed: u64,
+    baseline_elapsed: u64,
+    finished: bool,
+}
+
+impl Program {
+    /// Create a program with `n_threads` software threads spread across the
+    /// machine's domains round-robin (the paper's per-core binding), under
+    /// `monitor`.
+    pub fn new(machine: Machine, n_threads: usize, mode: ExecMode, monitor: Arc<dyn Monitor>) -> Self {
+        let binding = machine.topology().spread_binding(n_threads);
+        Self::with_binding(machine, binding, mode, monitor)
+    }
+
+    /// Create a program with an unmonitored (null) monitor.
+    pub fn unmonitored(machine: Machine, n_threads: usize, mode: ExecMode) -> Self {
+        Self::new(machine, n_threads, mode, Arc::new(NullMonitor))
+    }
+
+    /// Create a program with an explicit thread→CPU binding.
+    pub fn with_binding(
+        machine: Machine,
+        binding: Vec<CpuId>,
+        mode: ExecMode,
+        monitor: Arc<dyn Monitor>,
+    ) -> Self {
+        assert!(!binding.is_empty(), "a program needs at least one thread");
+        assert_eq!(
+            machine.page_map().region_count(),
+            0,
+            "a Machine instance hosts one Program: its page map already              holds regions from a previous run — build a fresh Machine"
+        );
+        let l3 = L3Complex::new(machine.topology().domains(), crate::cache::CacheConfig::l3());
+        let threads: Vec<ThreadState> = binding
+            .iter()
+            .enumerate()
+            .map(|(tid, &cpu)| {
+                let domain = machine.topology().domain_of_cpu(cpu);
+                monitor.on_thread_start(tid, cpu, domain);
+                ThreadState::new(tid, cpu, domain)
+            })
+            .collect();
+        let num_threads = threads.len();
+        Program {
+            env: SharedEnv {
+                machine,
+                l3,
+                space: AddressSpace::new(),
+                funcs: FuncRegistry::new(),
+                monitor,
+                num_threads,
+            },
+            threads,
+            mode,
+            elapsed: 0,
+            baseline_elapsed: 0,
+            finished: false,
+        }
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.env.machine
+    }
+
+    pub fn num_threads(&self) -> usize {
+        self.env.num_threads
+    }
+
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Run `f` on the master thread (thread 0) inside a function frame named
+    /// `name`; all other threads wait at the join.
+    pub fn serial(&mut self, name: &str, f: impl FnOnce(&mut ThreadCtx<'_>)) {
+        assert!(!self.finished, "program already finished");
+        let starts: Vec<(u64, u64)> = self
+            .threads
+            .iter()
+            .map(|t| (t.clock, t.monitor_cycles))
+            .collect();
+        {
+            let env = &self.env;
+            let st = &mut self.threads[0];
+            let mut ctx = ThreadCtx { state: st, env };
+            ctx.call(name, f);
+        }
+        self.join_region(&starts);
+    }
+
+    /// Run `f(tid, ctx)` on every thread inside a parallel-region frame
+    /// named `name` (the OpenMP parallel region of the source program),
+    /// then join.
+    pub fn parallel(&mut self, name: &str, f: impl Fn(usize, &mut ThreadCtx<'_>) + Sync) {
+        assert!(!self.finished, "program already finished");
+        let starts: Vec<(u64, u64)> = self
+            .threads
+            .iter()
+            .map(|t| (t.clock, t.monitor_cycles))
+            .collect();
+        let region_id = self.env.funcs.intern(name);
+        match self.mode {
+            ExecMode::Sequential => {
+                let env = &self.env;
+                for (tid, st) in self.threads.iter_mut().enumerate() {
+                    let mut ctx = ThreadCtx { state: st, env };
+                    ctx.enter_id(region_id, FrameKind::ParallelRegion);
+                    f(tid, &mut ctx);
+                    ctx.exit_frame();
+                }
+            }
+            ExecMode::Parallel => {
+                let env = &self.env;
+                let f = &f;
+                std::thread::scope(|s| {
+                    for (tid, st) in self.threads.iter_mut().enumerate() {
+                        s.spawn(move || {
+                            let mut ctx = ThreadCtx { state: st, env };
+                            ctx.enter_id(region_id, FrameKind::ParallelRegion);
+                            f(tid, &mut ctx);
+                            ctx.exit_frame();
+                        });
+                    }
+                });
+            }
+        }
+        self.join_region(&starts);
+    }
+
+    /// Fork-join barrier accounting: first charge memory-controller
+    /// contention for the region (exactly, from the region's aggregate
+    /// per-domain DRAM load — identical in sequential and parallel modes),
+    /// then advance elapsed time by the slowest participant and
+    /// synchronize every thread's clock to the barrier.
+    fn join_region(&mut self, starts: &[(u64, u64)]) {
+        self.charge_region_contention(starts.len());
+        let mut max_delta = 0u64;
+        let mut max_baseline_delta = 0u64;
+        for (t, &(clock0, oh0)) in self.threads.iter().zip(starts) {
+            let delta = t.clock - clock0;
+            let oh_delta = t.monitor_cycles - oh0;
+            max_delta = max_delta.max(delta);
+            max_baseline_delta = max_baseline_delta.max(delta - oh_delta);
+        }
+        self.elapsed += max_delta;
+        self.baseline_elapsed += max_baseline_delta;
+        for t in &mut self.threads {
+            t.clock = self.elapsed;
+        }
+    }
+
+    /// Fork-join contention model (§2's bandwidth-saturation effect): a
+    /// domain whose controller served far more than its fair share of the
+    /// region's concurrent DRAM traffic serves it with inflated latency —
+    /// up to ~5× when one domain takes everything. The overload factor of
+    /// domain `d` is `share_d × active_threads / cpus_per_domain`, and
+    /// every thread's clock is charged its own stalls scaled by the
+    /// domain's multiplier.
+    fn charge_region_contention(&mut self, _participants: usize) {
+        let domains = self.env.machine.topology().domains();
+        let mut totals = vec![0u64; domains];
+        let mut active_threads = 0u64;
+        for t in &self.threads {
+            let mut any = false;
+            for (d, s) in t.region_dram_stalls.iter().enumerate() {
+                totals[d] += s;
+                any |= *s > 0;
+            }
+            // Threads that did any work this region count as active
+            // (concurrent) demand, DRAM-bound or not.
+            if any || !t.region_dram_stalls.is_empty() {
+                active_threads += 1;
+            }
+        }
+        let grand: u64 = totals.iter().sum();
+        if grand > 0 {
+            let lat = self.env.machine.latency_model();
+            let per_domain_cpus = self.env.machine.topology().cpus_per_domain() as f64;
+            let mults: Vec<f64> = totals
+                .iter()
+                .map(|&c| {
+                    let share = c as f64 / grand as f64;
+                    let load = share * active_threads as f64 / per_domain_cpus;
+                    lat.contention_multiplier_load(load)
+                })
+                .collect();
+            for t in &mut self.threads {
+                let extra: u64 = t
+                    .region_dram_stalls
+                    .iter()
+                    .zip(&mults)
+                    .map(|(&s, &m)| (s as f64 * (m - 1.0)).round() as u64)
+                    .sum();
+                t.clock += extra;
+            }
+        }
+        for t in &mut self.threads {
+            t.region_dram_stalls.clear();
+        }
+    }
+
+    /// Declare the execution complete: notifies the monitor of final
+    /// per-thread clocks. Further regions panic.
+    pub fn finish(&mut self) -> ProgramStats {
+        if !self.finished {
+            self.finished = true;
+            for t in &self.threads {
+                self.env.monitor.on_thread_end(t.tid, t.clock);
+            }
+        }
+        self.stats()
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> ProgramStats {
+        ProgramStats {
+            elapsed_cycles: self.elapsed,
+            baseline_cycles: self.baseline_elapsed,
+            instructions: self.threads.iter().map(|t| t.instructions).sum(),
+            mem_accesses: self.threads.iter().map(|t| t.mem_accesses).sum(),
+        }
+    }
+
+    /// Per-thread instruction counts (ground truth for `lpi_NUMA`'s
+    /// denominator via hardware counters, Eq. 3).
+    pub fn per_thread_instructions(&self) -> Vec<u64> {
+        self.threads.iter().map(|t| t.instructions).collect()
+    }
+
+    /// The function-name registry (needed to render call paths postmortem).
+    pub fn func_registry(&self) -> &FuncRegistry {
+        &self.env.funcs
+    }
+
+    /// Tear the program down, keeping only the function-name registry.
+    /// Dropping the program here also drops its clone of the monitor `Arc`,
+    /// so a profiler held behind `Arc` becomes uniquely owned again.
+    pub fn into_func_registry(self) -> FuncRegistry {
+        self.env.funcs
+    }
+
+    /// Approximate resident bytes of simulator structures (cache tag arrays,
+    /// page map) — distinct from the *profiler's* footprint, which the paper
+    /// bounds at 40 MB.
+    pub fn simulator_footprint_bytes(&self) -> usize {
+        self.threads
+            .iter()
+            .map(|t| t.l1.footprint_bytes() + t.l2.footprint_bytes())
+            .sum::<usize>()
+            + self.env.l3.footprint_bytes()
+            + self.env.machine.page_map().footprint_bytes()
+    }
+}
+
+/// Allocate a variable before any region runs (e.g. static data known at
+/// load time): helper that runs a one-off serial region.
+pub fn alloc_static(program: &mut Program, name: &str, bytes: u64) -> u64 {
+    let mut addr = 0;
+    program.serial("__static_init", |ctx| {
+        addr = ctx.alloc_kind(
+            name,
+            bytes,
+            numa_machine::PlacementPolicy::FirstTouch,
+            VarKind::Static,
+        );
+    });
+    addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemoryEvent;
+    use crate::func::Frame;
+    use numa_machine::{MachinePreset, PlacementPolicy};
+    use parking_lot::Mutex;
+
+    fn machine() -> Machine {
+        Machine::from_preset(MachinePreset::AmdMagnyCours)
+    }
+
+    #[test]
+    fn serial_region_runs_on_master() {
+        let mut p = Program::unmonitored(machine(), 4, ExecMode::Sequential);
+        p.serial("init", |ctx| {
+            assert_eq!(ctx.tid(), 0);
+            assert_eq!(ctx.domain().0, 0);
+            ctx.compute(10);
+        });
+        let stats = p.finish();
+        assert!(stats.elapsed_cycles >= 10);
+        assert_eq!(stats.instructions, 10);
+    }
+
+    #[test]
+    fn parallel_region_visits_every_thread() {
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let mut p = Program::unmonitored(machine(), 8, mode);
+            let seen = Mutex::new(vec![false; 8]);
+            p.parallel("work", |tid, ctx| {
+                seen.lock()[tid] = true;
+                ctx.compute(5);
+            });
+            assert!(seen.into_inner().iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn threads_spread_across_domains() {
+        let p = Program::unmonitored(machine(), 8, ExecMode::Sequential);
+        // Round-robin binding on 8 domains: thread i in domain i.
+        let domains: Vec<u8> = (0..8).map(|i| {
+            p.machine()
+                .topology()
+                .domain_of_cpu(p.machine().topology().spread_binding(8)[i])
+                .0
+        }).collect();
+        assert_eq!(domains, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn elapsed_is_max_of_parallel_threads() {
+        let mut p = Program::unmonitored(machine(), 4, ExecMode::Sequential);
+        p.parallel("uneven", |tid, ctx| {
+            ctx.compute((tid as u64 + 1) * 100);
+        });
+        let stats = p.finish();
+        assert_eq!(stats.elapsed_cycles, 400);
+        assert_eq!(stats.instructions, 100 + 200 + 300 + 400);
+    }
+
+    #[test]
+    fn regions_accumulate_elapsed() {
+        let mut p = Program::unmonitored(machine(), 2, ExecMode::Sequential);
+        p.serial("a", |ctx| ctx.compute(50));
+        p.parallel("b", |_, ctx| ctx.compute(100));
+        assert_eq!(p.stats().elapsed_cycles, 150);
+    }
+
+    #[test]
+    fn first_touch_allocation_and_access() {
+        let mut p = Program::unmonitored(machine(), 2, ExecMode::Sequential);
+        let mut base = 0;
+        p.serial("alloc", |ctx| {
+            base = ctx.alloc("arr", 2 * 4096, PlacementPolicy::FirstTouch);
+            ctx.store(base, 8); // master (domain 0) touches first page
+        });
+        let m = p.machine().clone();
+        assert_eq!(m.domain_of_addr(base).map(|d| d.0), Some(0));
+        assert_eq!(m.domain_of_addr(base + 4096), None);
+    }
+
+    #[test]
+    fn cache_hierarchy_produces_hits_on_reuse() {
+        struct Recorder(Mutex<Vec<numa_machine::AccessLevel>>);
+        impl Monitor for Recorder {
+            fn on_access(&self, ev: &MemoryEvent, _stack: &[Frame]) -> u64 {
+                self.0.lock().push(ev.level);
+                0
+            }
+        }
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let mut p = Program::new(machine(), 1, ExecMode::Sequential, rec.clone());
+        p.serial("main", |ctx| {
+            let a = ctx.alloc("x", 4096, PlacementPolicy::FirstTouch);
+            ctx.load(a, 8);
+            ctx.load(a, 8);
+            ctx.load(a + 8, 8); // same line
+        });
+        let levels = rec.0.lock().clone();
+        assert_eq!(levels.len(), 3);
+        assert!(levels[0].is_memory(), "cold access goes to DRAM");
+        assert_eq!(levels[1], numa_machine::AccessLevel::L1);
+        assert_eq!(levels[2], numa_machine::AccessLevel::L1);
+    }
+
+    #[test]
+    fn remote_access_costs_more_than_local() {
+        // Thread 1 (domain 1) reads data homed in domain 0.
+        struct LatRec(Mutex<Vec<(bool, u32)>>);
+        impl Monitor for LatRec {
+            fn on_access(&self, ev: &MemoryEvent, _stack: &[Frame]) -> u64 {
+                if ev.level.is_memory() {
+                    self.0.lock().push((ev.is_remote_homed(), ev.latency));
+                }
+                0
+            }
+        }
+        let rec = Arc::new(LatRec(Mutex::new(Vec::new())));
+        let mut p = Program::new(machine(), 2, ExecMode::Sequential, rec.clone());
+        let mut base = 0;
+        p.serial("alloc", |ctx| {
+            base = ctx.alloc("arr", 1 << 20, PlacementPolicy::Bind(numa_machine::DomainId(0)));
+        });
+        p.parallel("read", |tid, ctx| {
+            if tid == 1 {
+                // Large strides so every access is a fresh DRAM access.
+                for i in 0..64u64 {
+                    ctx.load(base + i * 4096, 8);
+                }
+            }
+        });
+        p.parallel("read_local", |tid, ctx| {
+            if tid == 0 {
+                for i in 0..64u64 {
+                    ctx.load(base + 2048 + i * 4096, 8);
+                }
+            }
+        });
+        let recs = rec.0.lock().clone();
+        let remote: Vec<u32> = recs.iter().filter(|(r, _)| *r).map(|(_, l)| *l).collect();
+        let local: Vec<u32> = recs.iter().filter(|(r, _)| !*r).map(|(_, l)| *l).collect();
+        assert!(!remote.is_empty() && !local.is_empty());
+        let avg = |v: &[u32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&remote) > avg(&local) * 1.3,
+            "remote {:.0} vs local {:.0}",
+            avg(&remote),
+            avg(&local)
+        );
+    }
+
+    #[test]
+    fn monitoring_overhead_is_separated() {
+        struct Costly;
+        impl Monitor for Costly {
+            fn on_access(&self, _ev: &MemoryEvent, _stack: &[Frame]) -> u64 {
+                100
+            }
+        }
+        let mut p = Program::new(machine(), 1, ExecMode::Sequential, Arc::new(Costly));
+        p.serial("main", |ctx| {
+            let a = ctx.alloc("x", 4096, PlacementPolicy::FirstTouch);
+            for _ in 0..10 {
+                ctx.load(a, 8);
+            }
+        });
+        let stats = p.finish();
+        assert_eq!(stats.elapsed_cycles - stats.baseline_cycles, 1000);
+        assert!(stats.overhead_fraction() > 0.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_instruction_counts() {
+        let run = |mode| {
+            let mut p = Program::unmonitored(machine(), 8, mode);
+            let mut base = 0;
+            p.serial("alloc", |ctx| {
+                base = ctx.alloc("a", 1 << 20, PlacementPolicy::interleave_all(8));
+            });
+            p.parallel("sweep", |tid, ctx| {
+                let chunk = (1 << 20) / 8u64;
+                ctx.load_range(base + tid as u64 * chunk, chunk / 64, 8);
+            });
+            p.finish()
+        };
+        let seq = run(ExecMode::Sequential);
+        let par = run(ExecMode::Parallel);
+        assert_eq!(seq.instructions, par.instructions);
+        assert_eq!(seq.mem_accesses, par.mem_accesses);
+    }
+
+    #[test]
+    fn call_stack_nesting_visible_to_monitor() {
+        struct StackDepth(Mutex<Vec<usize>>);
+        impl Monitor for StackDepth {
+            fn on_access(&self, _ev: &MemoryEvent, stack: &[Frame]) -> u64 {
+                self.0.lock().push(stack.len());
+                0
+            }
+        }
+        let rec = Arc::new(StackDepth(Mutex::new(Vec::new())));
+        let mut p = Program::new(machine(), 1, ExecMode::Sequential, rec.clone());
+        p.serial("main", |ctx| {
+            let a = ctx.alloc("x", 4096, PlacementPolicy::FirstTouch);
+            ctx.load(a, 8); // depth: main
+            ctx.call("inner", |ctx| {
+                ctx.load(a, 8); // depth: main > inner
+            });
+        });
+        assert_eq!(&*rec.0.lock(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn regions_after_finish_panic() {
+        let mut p = Program::unmonitored(machine(), 1, ExecMode::Sequential);
+        p.finish();
+        p.serial("late", |_| {});
+    }
+}

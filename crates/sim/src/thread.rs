@@ -1,0 +1,345 @@
+//! Per-thread execution context: the API simulated programs are written
+//! against.
+//!
+//! A workload is ordinary Rust that narrates its execution to the engine:
+//! `call`/`region` maintain the call stack, `alloc` announces data objects,
+//! `load`/`store` issue memory accesses (resolved through the cache hierarchy
+//! and NUMA model), and `compute` retires non-memory instructions. Each
+//! virtual thread is pinned to one hardware thread, as the paper's
+//! experiments pin software threads to cores.
+
+use crate::cache::Cache;
+use crate::event::{AllocInfo, MemoryEvent, PageFaultEvent, VarKind};
+use crate::func::{Frame, FrameKind, FuncId};
+use crate::program::SharedEnv;
+use numa_machine::{AccessLevel, CpuId, DomainId};
+
+/// Cycles charged for taking a first-touch trap, before the monitor's own
+/// handler cost (kernel signal delivery + mprotect restore).
+pub const FAULT_DELIVERY_COST: u64 = 3000;
+
+/// Cycles charged for an allocation call itself.
+pub const ALLOC_BASE_COST: u64 = 120;
+
+/// Persistent state of one virtual thread (survives across regions so cache
+/// contents and the clock carry over, like a real pinned thread).
+pub struct ThreadState {
+    pub(crate) tid: usize,
+    pub(crate) cpu: CpuId,
+    pub(crate) domain: DomainId,
+    /// Virtual cycle clock, including monitoring overhead.
+    pub(crate) clock: u64,
+    /// Cycles of the clock attributable to monitoring.
+    pub(crate) monitor_cycles: u64,
+    pub(crate) instructions: u64,
+    pub(crate) mem_accesses: u64,
+    pub(crate) l1: Cache,
+    pub(crate) l2: Cache,
+    pub(crate) stack: Vec<Frame>,
+    pub(crate) line: u32,
+    /// DRAM stall cycles accumulated in the current region, per target
+    /// domain — the basis for the fork-join contention charge applied at
+    /// the region join (see `Program::join_region`).
+    pub(crate) region_dram_stalls: Vec<u64>,
+}
+
+impl ThreadState {
+    pub(crate) fn new(tid: usize, cpu: CpuId, domain: DomainId) -> Self {
+        ThreadState {
+            tid,
+            cpu,
+            domain,
+            clock: 0,
+            monitor_cycles: 0,
+            instructions: 0,
+            mem_accesses: 0,
+            l1: Cache::new(crate::cache::CacheConfig::l1d()),
+            l2: Cache::new(crate::cache::CacheConfig::l2()),
+            stack: Vec::with_capacity(32),
+            line: 0,
+            region_dram_stalls: Vec::new(),
+        }
+    }
+}
+
+/// Mutable view of a thread during a region, bound to the program's shared
+/// environment. Created by the engine; workload code receives `&mut
+/// ThreadCtx`.
+pub struct ThreadCtx<'a> {
+    pub(crate) state: &'a mut ThreadState,
+    pub(crate) env: &'a SharedEnv,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Software thread index within the program.
+    pub fn tid(&self) -> usize {
+        self.state.tid
+    }
+
+    /// Hardware thread this virtual thread is pinned to.
+    pub fn cpu(&self) -> CpuId {
+        self.state.cpu
+    }
+
+    /// NUMA domain of the pinned CPU.
+    pub fn domain(&self) -> DomainId {
+        self.state.domain
+    }
+
+    /// Current virtual time in cycles (monitoring overhead included).
+    pub fn clock(&self) -> u64 {
+        self.state.clock
+    }
+
+    /// Number of threads in the program (for partitioning work).
+    pub fn num_threads(&self) -> usize {
+        self.env.num_threads
+    }
+
+    /// Number of NUMA domains on the machine.
+    pub fn num_domains(&self) -> usize {
+        self.env.machine.topology().domains()
+    }
+
+    // ---- call structure -------------------------------------------------
+
+    /// Execute `f` inside a function frame named `name`.
+    pub fn call<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let id = self.env.funcs.intern(name);
+        self.enter_id(id, FrameKind::Function);
+        let r = f(self);
+        self.exit_frame();
+        r
+    }
+
+    /// Execute `f` inside a loop frame (finer-grained code-centric
+    /// attribution, as HPCToolkit attributes to loops).
+    pub fn loop_scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let id = self.env.funcs.intern(name);
+        self.enter_id(id, FrameKind::Loop);
+        let r = f(self);
+        self.exit_frame();
+        r
+    }
+
+    /// Push a frame by pre-interned id (hot-path variant of [`Self::call`]).
+    pub fn enter_id(&mut self, func: FuncId, kind: FrameKind) {
+        self.state.stack.push(Frame { func, kind });
+    }
+
+    /// Pop the innermost frame.
+    pub fn exit_frame(&mut self) {
+        self.state
+            .stack
+            .pop()
+            .expect("exit_frame with empty call stack");
+    }
+
+    /// Set the source-line marker attached to subsequent accesses.
+    pub fn at_line(&mut self, line: u32) {
+        self.state.line = line;
+    }
+
+    /// Current call stack (outermost first).
+    pub fn stack(&self) -> &[Frame] {
+        &self.state.stack
+    }
+
+    /// Intern a function name (for `enter_id`).
+    pub fn intern(&self, name: &str) -> FuncId {
+        self.env.funcs.intern(name)
+    }
+
+    // ---- data objects ----------------------------------------------------
+
+    /// Allocate a named heap variable with a placement policy. Returns its
+    /// base address.
+    pub fn alloc(
+        &mut self,
+        name: &str,
+        bytes: u64,
+        policy: numa_machine::PlacementPolicy,
+    ) -> u64 {
+        self.alloc_kind(name, bytes, policy, VarKind::Heap)
+    }
+
+    /// Allocate a named variable of an explicit kind (static variables are
+    /// "allocated" at load time by real programs; here the workload
+    /// announces them the same way, tagged [`VarKind::Static`]).
+    pub fn alloc_kind(
+        &mut self,
+        name: &str,
+        bytes: u64,
+        policy: numa_machine::PlacementPolicy,
+        kind: VarKind,
+    ) -> u64 {
+        let addr = self.env.space.allocate(bytes);
+        self.env.machine.page_map().register_region(addr, bytes, policy.clone());
+        self.state.clock += ALLOC_BASE_COST;
+        self.state.instructions += 8; // allocator bookkeeping instructions
+        let info = AllocInfo {
+            tid: self.state.tid,
+            name,
+            addr,
+            bytes,
+            kind,
+            policy: &policy,
+        };
+        let oh = self.env.monitor.on_alloc(&info, &self.state.stack);
+        self.charge_overhead(oh);
+        addr
+    }
+
+    /// Free a previously allocated variable.
+    pub fn free(&mut self, addr: u64) {
+        self.env.machine.page_map().remove_region(addr);
+        self.state.clock += ALLOC_BASE_COST / 2;
+        let oh = self.env.monitor.on_free(self.state.tid, addr);
+        self.charge_overhead(oh);
+    }
+
+    // ---- execution --------------------------------------------------------
+
+    /// Retire `n` non-memory instructions (1 cycle each — an in-order,
+    /// 1-IPC core model).
+    pub fn compute(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.state.instructions += n;
+        self.state.clock += n;
+        let oh = self.env.monitor.on_compute(self.state.tid, n, &self.state.stack);
+        self.charge_overhead(oh);
+    }
+
+    /// Issue a load of `size` bytes at `addr`.
+    #[inline]
+    pub fn load(&mut self, addr: u64, size: u32) {
+        self.access(addr, size, false);
+    }
+
+    /// Issue a store of `size` bytes at `addr`.
+    #[inline]
+    pub fn store(&mut self, addr: u64, size: u32) {
+        self.access(addr, size, true);
+    }
+
+    fn access(&mut self, addr: u64, size: u32, is_store: bool) {
+        let st = &mut *self.state;
+        st.instructions += 1;
+        st.mem_accesses += 1;
+        st.clock += 1; // issue slot
+
+        let machine = &self.env.machine;
+        let q = machine.page_map().touch(addr, st.domain);
+
+        // First-touch trap (simulated SIGSEGV): delivered before the access
+        // completes, exactly once per protected page (§6).
+        if q.fault.is_some() {
+            let fault = PageFaultEvent {
+                tid: st.tid,
+                cpu: st.cpu,
+                thread_domain: st.domain,
+                addr,
+                is_store,
+                line: st.line,
+            };
+            st.clock += FAULT_DELIVERY_COST;
+            st.monitor_cycles += FAULT_DELIVERY_COST;
+            let oh = self.env.monitor.on_page_fault(&fault, &st.stack);
+            st.clock += oh;
+            st.monitor_cycles += oh;
+        }
+
+        let home = q.domain;
+        // Walk the hierarchy. `access` fills on miss, so after the walk the
+        // line is resident in L1/L2 (and local L3 if it got that far) —
+        // allocate-on-miss at every level.
+        let (level, serving) = if st.l1.access(addr) {
+            (AccessLevel::L1, st.domain)
+        } else if st.l2.access(addr) {
+            (AccessLevel::L2, st.domain)
+        } else if self.env.l3.domain(st.domain).access(addr) {
+            (AccessLevel::L3Local, st.domain)
+        } else if let Some(d) = remote_l3_holder(self.env, addr, st.domain, home) {
+            // Another domain's L3 holds the line (directory/probe-filter
+            // coherence): a cache-to-cache transfer beats DRAM.
+            (AccessLevel::L3Remote, d)
+        } else {
+            machine.controllers().record(home);
+            (numa_machine::latency::dram_level(st.domain, home), home)
+        };
+
+        // Sampled (PMU-visible) latency is the *uncontended* latency;
+        // queueing delay under contention is charged to the clock at the
+        // region join, where the whole region's per-domain load is known
+        // exactly (independent of execution mode).
+        let lat_model = machine.latency_model();
+        let hops = machine.interconnect().hops(st.domain, serving);
+        let latency = lat_model.latency(level, hops, 1.0);
+        let stall = lat_model.stall_cycles(latency);
+        st.clock += stall;
+        if level.is_memory() {
+            if st.region_dram_stalls.len() <= home.index() {
+                st.region_dram_stalls.resize(machine.topology().domains(), 0);
+            }
+            st.region_dram_stalls[home.index()] += stall;
+        }
+
+        let ev = MemoryEvent {
+            tid: st.tid,
+            cpu: st.cpu,
+            thread_domain: st.domain,
+            addr,
+            size,
+            is_store,
+            level,
+            home_domain: home,
+            latency,
+            line: st.line,
+            first_touch_page: q.bound_now,
+            clock: st.clock,
+        };
+        let oh = self.env.monitor.on_access(&ev, &st.stack);
+        st.clock += oh;
+        st.monitor_cycles += oh;
+    }
+
+    /// Convenience: load `count` consecutive elements of `elem_size` bytes
+    /// starting at `base` (a unit-stride read sweep, one access per
+    /// element).
+    pub fn load_range(&mut self, base: u64, count: u64, elem_size: u32) {
+        for i in 0..count {
+            self.load(base + i * elem_size as u64, elem_size);
+        }
+    }
+
+    /// Convenience: store sweep, mirroring [`Self::load_range`].
+    pub fn store_range(&mut self, base: u64, count: u64, elem_size: u32) {
+        for i in 0..count {
+            self.store(base + i * elem_size as u64, elem_size);
+        }
+    }
+
+    fn charge_overhead(&mut self, cycles: u64) {
+        self.state.clock += cycles;
+        self.state.monitor_cycles += cycles;
+    }
+}
+
+/// Which remote domain's L3 (if any) holds `addr` — the home domain is
+/// probed first (its directory is the natural owner), then the rest.
+fn remote_l3_holder(
+    env: &SharedEnv,
+    addr: u64,
+    local: DomainId,
+    home: DomainId,
+) -> Option<DomainId> {
+    if home != local && env.l3.domain(home).probe(addr) {
+        return Some(home);
+    }
+    let domains = env.machine.topology().domains();
+    (0..domains)
+        .map(|d| DomainId(d as u8))
+        .find(|&d| d != local && d != home && env.l3.domain(d).probe(addr))
+}

@@ -1,0 +1,22 @@
+//! Mini-app ports of the paper's four case-study benchmarks (§8):
+//! LULESH, AMG2006, Blackscholes, and UMT2013.
+//!
+//! Each port reproduces the *memory-access structure* that drives the
+//! paper's analysis — allocation sites, first-touch behaviour, per-thread
+//! sharing patterns, and the per-variable remote-access profiles shown in
+//! Figures 3–10 — with Baseline / Interleaved / tool-guided optimization
+//! variants so the case-study speedups can be regenerated.
+
+pub mod amg2006;
+pub mod blackscholes;
+pub mod harness;
+pub mod lulesh;
+pub mod synthetic;
+pub mod umt2013;
+
+pub use amg2006::{Amg2006, AmgVariant};
+pub use blackscholes::{Blackscholes, BlackscholesVariant};
+pub use harness::{run_profiled, run_unmonitored, timed_phase, Workload, WorkloadOutput};
+pub use lulesh::{Lulesh, LuleshVariant};
+pub use synthetic::{Synthetic, SyntheticPattern};
+pub use umt2013::{Umt2013, UmtVariant};

@@ -1,0 +1,22 @@
+//! HPCToolkit-NUMA reproduction — umbrella crate.
+//!
+//! Re-exports the full stack so examples and downstream users can depend on a
+//! single crate:
+//!
+//! * [`machine`] — the simulated NUMA machine (topology, pages, latency,
+//!   contention).
+//! * [`sim`] — the execution engine workloads run on.
+//! * [`sampling`] — the six address-sampling mechanisms of the paper's §3.
+//! * [`profiler`] — the online profiler: CCT, code-/data-/address-centric
+//!   attribution, first-touch pinpointing, NUMA metrics.
+//! * [`analysis`] — the offline analyzer and viewer.
+//! * [`workloads`] — LULESH / AMG2006 / Blackscholes / UMT2013 mini-apps.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use numa_analysis as analysis;
+pub use numa_machine as machine;
+pub use numa_profiler as profiler;
+pub use numa_sampling as sampling;
+pub use numa_sim as sim;
+pub use numa_workloads as workloads;

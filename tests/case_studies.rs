@@ -1,0 +1,143 @@
+//! Compressed versions of the paper's four case-study claims (§8), run at
+//! test scale. The full-size regenerators live in `crates/bench/src/bin`.
+
+use hpctoolkit_numa::analysis::{analyze, classify, AccessPattern, Analyzer, Recommendation};
+use hpctoolkit_numa::machine::{Machine, MachinePreset};
+use hpctoolkit_numa::profiler::{ProfilerConfig, RangeScope};
+use hpctoolkit_numa::sampling::{MechanismConfig, MechanismKind};
+use hpctoolkit_numa::sim::{ExecMode, FuncId};
+use hpctoolkit_numa::workloads::{
+    run_profiled, run_unmonitored, Amg2006, AmgVariant, Blackscholes, BlackscholesVariant,
+    Lulesh, LuleshVariant, Umt2013, UmtVariant, Workload,
+};
+
+fn amd() -> Machine {
+    Machine::from_preset(MachinePreset::AmdMagnyCours)
+}
+
+fn power7() -> Machine {
+    Machine::from_preset(MachinePreset::IbmPower7)
+}
+
+fn analyzer_of(w: &dyn Workload, machine: Machine, threads: usize, kind: MechanismKind) -> Analyzer {
+    let cfg = ProfilerConfig::new(MechanismConfig::for_tests(kind, 8)).with_bins(32);
+    let (_, _, profile) = run_profiled(w, machine, threads, ExecMode::Sequential, cfg);
+    Analyzer::new(profile)
+}
+
+#[test]
+fn lulesh_tool_guides_blockwise_and_it_wins() {
+    // §8.1 in one test: the profiler flags LULESH, classifies z as a
+    // blocked staircase, recommends block-wise distribution, and the fix
+    // beats both the baseline and the prior interleave strategy on the
+    // solve phase.
+    let a = analyzer_of(&Lulesh::new(20, 3, LuleshVariant::Baseline), amd(), 8, MechanismKind::Ibs);
+    let report = analyze(&a);
+    assert!(report.program.warrants_optimization());
+    let z = report.advice.iter().find(|v| v.name == "z").expect("z is hot");
+    assert_eq!(z.recommendation, Recommendation::BlockWise);
+
+    let solve = |variant| {
+        let (_, out) = run_unmonitored(&Lulesh::new(20, 3, variant), amd(), 8, ExecMode::Sequential);
+        out.phase("solve").unwrap()
+    };
+    let base = solve(LuleshVariant::Baseline);
+    let inter = solve(LuleshVariant::Interleaved);
+    let block = solve(LuleshVariant::BlockWise);
+    assert!(block < base, "block-wise beats baseline: {block} vs {base}");
+    assert!(block < inter, "block-wise beats interleave: {block} vs {inter}");
+}
+
+#[test]
+fn amg_region_drilldown_finds_the_hidden_pattern() {
+    // §8.2: the whole-program view of RAP_diag_data has no usable pattern,
+    // but the dominant relax region shows a clean blocked staircase.
+    let a = analyzer_of(
+        &Amg2006::new(128 * 1024, 1, AmgVariant::Baseline),
+        amd(),
+        8,
+        MechanismKind::Ibs,
+    );
+    let var = a.profile().var_by_name("RAP_diag_data").unwrap().id;
+    let relax = a
+        .profile()
+        .func_names
+        .iter()
+        .position(|n| n == "hypre_boomerAMGRelax._omp")
+        .map(|i| FuncId(i as u32))
+        .unwrap();
+    let region_pattern = classify(&a.thread_ranges(var, RangeScope::Region(relax)));
+    assert_eq!(region_pattern, AccessPattern::Blocked);
+    // The relax region dominates the variable's NUMA cost, so the report's
+    // final recommendation is block-wise despite the messy aggregate view.
+    let report = analyze(&a);
+    let advice = report
+        .advice
+        .iter()
+        .find(|v| v.name == "RAP_diag_data")
+        .expect("RAP_diag_data is hot");
+    assert_eq!(advice.recommendation, Recommendation::BlockWise);
+}
+
+#[test]
+fn blackscholes_severity_metric_prevents_wasted_work() {
+    // §8.3: M_r looks terrible but lpi_NUMA is far below the threshold,
+    // and indeed the "fix" barely moves the pricing phase.
+    let a = analyzer_of(
+        &Blackscholes::new(256, 12, BlackscholesVariant::Baseline),
+        amd(),
+        8,
+        MechanismKind::Ibs,
+    );
+    let buffer = a.profile().var_by_name("buffer").unwrap().id;
+    let m = a.var_metrics(buffer);
+    assert!(m.m_remote > m.m_local, "looks like a severe NUMA problem");
+
+    let price = |variant| {
+        let (_, out) = run_unmonitored(
+            &Blackscholes::new(256, 12, variant),
+            amd(),
+            8,
+            ExecMode::Sequential,
+        );
+        out.phase("price").unwrap()
+    };
+    let base = price(BlackscholesVariant::Baseline);
+    let opt = price(BlackscholesVariant::Regrouped);
+    let gain = (base as f64 - opt as f64).abs() / base as f64;
+    assert!(gain < 0.06, "fix changes pricing by {:.1}% only", gain * 100.0);
+}
+
+#[test]
+fn umt_parallel_first_touch_removes_stime_remote_accesses() {
+    // §8.4: parallelizing STime's initialization eliminates most remote
+    // accesses to it and speeds up the sweep.
+    let stime_remote = |variant| {
+        let a = analyzer_of(
+            &Umt2013::new(16, 64, 64, 2, variant),
+            power7(),
+            32,
+            MechanismKind::Mrk,
+        );
+        let id = a.profile().var_by_name("STime").unwrap().id;
+        a.var_metrics(id).m_remote
+    };
+    let before = stime_remote(UmtVariant::Baseline);
+    let after = stime_remote(UmtVariant::ParallelFirstTouch);
+    assert!(before > 0);
+    assert!(
+        (after as f64) < before as f64 * 0.2,
+        "remote accesses to STime: {before} → {after}"
+    );
+
+    let sweep = |variant| {
+        let (_, out) = run_unmonitored(
+            &Umt2013::new(16, 64, 64, 2, variant),
+            power7(),
+            32,
+            ExecMode::Sequential,
+        );
+        out.phase("sweep").unwrap()
+    };
+    assert!(sweep(UmtVariant::ParallelFirstTouch) < sweep(UmtVariant::Baseline));
+}

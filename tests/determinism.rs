@@ -1,0 +1,65 @@
+//! Reproducibility guarantees of the engine.
+
+use hpctoolkit_numa::machine::{Machine, MachinePreset, PlacementPolicy};
+use hpctoolkit_numa::sim::{ExecMode, Program, ProgramStats};
+use hpctoolkit_numa::workloads::{run_unmonitored, Lulesh, LuleshVariant};
+
+fn machine() -> Machine {
+    Machine::from_preset(MachinePreset::AmdMagnyCours)
+}
+
+fn run_once(mode: ExecMode) -> ProgramStats {
+    run_unmonitored(&Lulesh::new(12, 2, LuleshVariant::Baseline), machine(), 8, mode).0
+}
+
+#[test]
+fn sequential_unmonitored_runs_are_bit_identical() {
+    let a = run_once(ExecMode::Sequential);
+    let b = run_once(ExecMode::Sequential);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn parallel_mode_preserves_work_counts() {
+    let seq = run_once(ExecMode::Sequential);
+    let par = run_once(ExecMode::Parallel);
+    assert_eq!(seq.instructions, par.instructions);
+    assert_eq!(seq.mem_accesses, par.mem_accesses);
+}
+
+#[test]
+fn parallel_elapsed_is_close_to_sequential() {
+    // Timing differs only through shared-L3 interleaving effects; the
+    // fork-join contention charge is computed from region aggregates and
+    // is mode-independent, so elapsed cycles should agree within a few
+    // percent.
+    let seq = run_once(ExecMode::Sequential);
+    let par = run_once(ExecMode::Parallel);
+    let ratio = par.elapsed_cycles as f64 / seq.elapsed_cycles as f64;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "parallel/sequential elapsed ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn placement_policies_are_deterministic_across_modes() {
+    for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+        let m = machine();
+        let mut p = Program::unmonitored(m.clone(), 8, mode);
+        let mut base = 0;
+        p.serial("main", |ctx| {
+            base = ctx.alloc("arr", 64 * 4096, PlacementPolicy::interleave_all(8));
+        });
+        p.parallel("touch", |tid, ctx| {
+            let chunk = 64 * 4096 / 8u64;
+            for page in 0..chunk / 4096 {
+                ctx.store(base + tid as u64 * chunk + page * 4096, 8);
+            }
+        });
+        // Interleaving binds page i to domain i%8 regardless of who touched
+        // it or when.
+        let hist = m.page_map().binding_histogram(base).unwrap();
+        assert_eq!(hist, vec![8; 8], "{mode:?}");
+    }
+}
