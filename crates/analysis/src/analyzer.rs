@@ -107,13 +107,13 @@ impl Analyzer {
             .map(|t| {
                 let mut vt: HashMap<VarId, MetricSet> = HashMap::new();
                 for (v, m) in &t.var_metrics {
-                    vt.entry(*v).or_insert_with(|| MetricSet::new(domains)).merge(m);
+                    vt.entry(*v)
+                        .or_insert_with(|| MetricSet::new(domains))
+                        .merge(m);
                 }
                 let mut mr: HashMap<RangeKey, RangeStat> = HashMap::new();
                 for (k, s) in &t.ranges {
-                    mr.entry(*k)
-                        .and_modify(|acc| acc.merge(s))
-                        .or_insert(*s);
+                    mr.entry(*k).and_modify(|acc| acc.merge(s)).or_insert(*s);
                 }
                 (t.totals.clone(), vt, mr)
             })
@@ -122,7 +122,9 @@ impl Analyzer {
                 |(mut t1, mut v1, mut r1), (t2, v2, r2)| {
                     t1.merge(&t2);
                     for (k, m) in v2 {
-                        v1.entry(k).or_insert_with(|| MetricSet::new(domains)).merge(&m);
+                        v1.entry(k)
+                            .or_insert_with(|| MetricSet::new(domains))
+                            .merge(&m);
                     }
                     for (k, s) in r2 {
                         r1.entry(k).and_modify(|acc| acc.merge(&s)).or_insert(s);
@@ -196,10 +198,13 @@ impl Analyzer {
         let mut stack = 0u64;
         for (v, m) in &self.var_totals {
             let w = self.remote_weight(m);
-            match self.profile.var(*v).kind {
-                VarKind::Heap => heap += w,
-                VarKind::Static => stat += w,
-                VarKind::Stack => stack += w,
+            match self.profile.var(*v).map(|rec| rec.kind) {
+                Some(VarKind::Heap) => heap += w,
+                Some(VarKind::Static) => stat += w,
+                Some(VarKind::Stack) => stack += w,
+                // Samples attributed to a variable the profile has no
+                // record for (malformed input): leave them unclassified.
+                None => {}
             }
         }
         let total = self.remote_weight(&self.totals);
@@ -239,9 +244,11 @@ impl Analyzer {
         let mut out: Vec<VarAnalysis> = self
             .var_totals
             .iter()
-            .map(|(v, m)| {
-                let rec = self.profile.var(*v);
-                VarAnalysis {
+            .filter_map(|(v, m)| {
+                // Skip metric entries whose variable record is missing
+                // (malformed profile) rather than crash the ranking.
+                let rec = self.profile.var(*v)?;
+                Some(VarAnalysis {
                     var: *v,
                     name: rec.name.clone(),
                     kind: rec.kind,
@@ -256,7 +263,7 @@ impl Analyzer {
                         .collect::<Vec<_>>()
                         .join(" > "),
                     alloc_tid: rec.alloc_tid,
-                }
+                })
             })
             .collect();
         out.sort_by(|a, b| {
@@ -284,7 +291,11 @@ impl Analyzer {
         scope: RangeScope,
         hot_bin_threshold: f64,
     ) -> Vec<ThreadRange> {
-        let rec = self.profile.var(var);
+        // No record for this variable (malformed profile or a stale id
+        // from another run): report no ranges rather than panic.
+        let Some(rec) = self.profile.var(var) else {
+            return Vec::new();
+        };
         let extent = rec.bytes.max(1) as f64;
         let mut out = Vec::new();
         for t in &self.profile.threads {
@@ -319,8 +330,11 @@ impl Analyzer {
             if let Some(s) = merged {
                 out.push(ThreadRange {
                     tid: t.tid,
-                    min: (s.min_addr - rec.addr) as f64 / extent,
-                    max: (s.max_addr - rec.addr) as f64 / extent,
+                    // Saturate: a corrupted range whose addresses fall
+                    // below the variable's base must not wrap to huge
+                    // offsets.
+                    min: s.min_addr.saturating_sub(rec.addr) as f64 / extent,
+                    max: s.max_addr.saturating_sub(rec.addr) as f64 / extent,
                     samples: s.count,
                     latency: s.latency,
                 });
@@ -344,7 +358,11 @@ impl Analyzer {
             // Weight by *NUMA* latency where available: local traffic
             // (e.g. the master's initialization) must not dilute region
             // shares (the paper's 74.2% is a share of NUMA access latency).
-            let w = if use_latency { s.latency_remote } else { s.count };
+            let w = if use_latency {
+                s.latency_remote
+            } else {
+                s.count
+            };
             match k.scope {
                 RangeScope::Program => program_total += w,
                 RangeScope::Region(r) => *per_region.entry(r).or_insert(0) += w,
@@ -357,7 +375,9 @@ impl Analyzer {
             .into_iter()
             .map(|(r, w)| (r, w as f64 / program_total as f64))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+        // total_cmp: shares are finite here, but a NaN (degenerate
+        // profile) must not panic the sort.
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
         out
     }
 
@@ -427,7 +447,12 @@ mod tests {
     /// loop; `init` toggles the serial init (without it, placement is
     /// forced with an explicit bind, as when only the compute phase is
     /// profiled).
-    fn profile_with(kind: MechanismKind, period: u64, iterations: usize, init: bool) -> NumaProfile {
+    fn profile_with(
+        kind: MechanismKind,
+        period: u64,
+        iterations: usize,
+        init: bool,
+    ) -> NumaProfile {
         let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
         let config = ProfilerConfig::new(MechanismConfig::for_tests(kind, period));
         let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, 8));
@@ -463,8 +488,16 @@ mod tests {
         let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 16));
         let pa = a.program();
         // 7 of 8 threads are remote to domain 0.
-        assert!(pa.remote_fraction > 0.5, "remote fraction {}", pa.remote_fraction);
-        assert!(pa.domain_imbalance > 4.0, "imbalance {}", pa.domain_imbalance);
+        assert!(
+            pa.remote_fraction > 0.5,
+            "remote fraction {}",
+            pa.remote_fraction
+        );
+        assert!(
+            pa.domain_imbalance > 4.0,
+            "imbalance {}",
+            pa.domain_imbalance
+        );
         assert!(pa.lpi_numa.is_some());
         assert!(pa.warrants_optimization());
         assert!(pa.heap_share > 0.9);
@@ -500,7 +533,10 @@ mod tests {
             // Thread i's range sits inside its 1/8th block.
             let lo = i as f64 / 8.0;
             let hi = (i + 1) as f64 / 8.0;
-            assert!(r.min >= lo - 0.01 && r.max <= hi + 0.01, "thread {i}: {r:?}");
+            assert!(
+                r.min >= lo - 0.01 && r.max <= hi + 0.01,
+                "thread {i}: {r:?}"
+            );
         }
     }
 

@@ -70,7 +70,9 @@ pub fn diff(before: &Analyzer, after: &Analyzer) -> DiffReport {
 
     // Index variables by name. Variables can legitimately repeat (e.g.
     // re-allocation with the same name); accumulate.
-    let mut names: BTreeMap<String, (VarKind, [u64; 2], [u64; 2], [bool; 2])> = BTreeMap::new();
+    // (kind, m_remote per side, latency_remote per side, present per side)
+    type SideEntry = (VarKind, [u64; 2], [u64; 2], [bool; 2]);
+    let mut names: BTreeMap<String, SideEntry> = BTreeMap::new();
     for (side, analyzer) in [(0usize, before), (1usize, after)] {
         for v in analyzer.hot_variables() {
             let e = names
@@ -99,7 +101,7 @@ pub fn diff(before: &Analyzer, after: &Analyzer) -> DiffReport {
     vars.sort_by(|a, b| {
         let wa = a.latency_remote.before - a.latency_remote.after;
         let wb = b.latency_remote.before - b.latency_remote.after;
-        wb.partial_cmp(&wa).unwrap()
+        wb.total_cmp(&wa)
     });
 
     DiffReport {

@@ -22,7 +22,9 @@ const MARGIN: f64 = 36.0;
 
 /// Escape text for HTML.
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render one address-centric plot as inline SVG: x = thread index,
@@ -90,11 +92,7 @@ pub fn html_report(analyzer: &Analyzer) -> String {
     let p = &report.program;
     let mut s = String::new();
     s.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
-    let _ = write!(
-        s,
-        "<title>NUMA analysis — {}</title>",
-        esc(&report.machine)
-    );
+    let _ = write!(s, "<title>NUMA analysis — {}</title>", esc(&report.machine));
     s.push_str(
         "<style>
 body{font-family:sans-serif;max-width:960px;margin:2rem auto;padding:0 1rem;color:#111}
@@ -118,7 +116,11 @@ pre{background:#f9fafb;border:1px solid #e5e7eb;padding:8px;font-size:12px;overf
     s.push_str("<h2>Program</h2><table><tr><th>metric</th><th>value</th></tr>");
     match p.lpi_numa {
         Some(lpi) => {
-            let class = if p.warrants_optimization() { "verdict-yes" } else { "verdict-no" };
+            let class = if p.warrants_optimization() {
+                "verdict-yes"
+            } else {
+                "verdict-no"
+            };
             let verdict = if p.warrants_optimization() {
                 "optimization warranted"
             } else {
@@ -172,7 +174,11 @@ pre{background:#f9fafb;border:1px solid #e5e7eb;padding:8px;font-size:12px;overf
         let prog_ranges = analyzer.thread_ranges(var, RangeScope::Program);
         s.push_str(&svg_address_plot(
             &prog_ranges,
-            &format!("{} — whole program ({})", a.name, classify(&prog_ranges).name()),
+            &format!(
+                "{} — whole program ({})",
+                a.name,
+                classify(&prog_ranges).name()
+            ),
         ));
         if let Some(r) = &a.dominant_region {
             if let Some(f) = find_region(analyzer, &r.region) {
@@ -189,7 +195,11 @@ pre{background:#f9fafb;border:1px solid #e5e7eb;padding:8px;font-size:12px;overf
                 ));
             }
         }
-        let _ = write!(s, "<div class=\"advice\">⇒ {}</div>", esc(a.recommendation.describe()));
+        let _ = write!(
+            s,
+            "<div class=\"advice\">⇒ {}</div>",
+            esc(a.recommendation.describe())
+        );
         for (tid, domain, path) in &a.first_touch_sites {
             let _ = write!(
                 s,
@@ -206,7 +216,12 @@ pre{background:#f9fafb;border:1px solid #e5e7eb;padding:8px;font-size:12px;overf
     s.push_str("</pre>");
 
     // Timeline, if traced.
-    if analyzer.profile().threads.iter().any(|t| !t.trace.is_empty()) {
+    if analyzer
+        .profile()
+        .threads
+        .iter()
+        .any(|t| !t.trace.is_empty())
+    {
         s.push_str("<h2>Remote-fraction timeline</h2><pre>");
         s.push_str(&esc(&view::render_trace_timelines(analyzer, 64)));
         s.push_str("</pre>");
@@ -235,9 +250,13 @@ fn ratio(a: u64, b: u64) -> String {
 
 /// Convenience used by tests/CLI: plot for one variable.
 pub fn svg_for_var(analyzer: &Analyzer, var: VarId) -> String {
-    let rec = analyzer.profile().var(var);
+    let name = analyzer
+        .profile()
+        .var(var)
+        .map(|rec| rec.name.as_str())
+        .unwrap_or("<unknown>");
     let ranges = analyzer.thread_ranges(var, RangeScope::Program);
-    svg_address_plot(&ranges, &rec.name)
+    svg_address_plot(&ranges, name)
 }
 
 #[cfg(test)]

@@ -109,7 +109,10 @@ pub fn classify_with(ranges: &[ThreadRange], cfg: &ClassifierConfig) -> AccessPa
     // are rare (≤10%) — if many threads range widely, that *is* the
     // pattern and must reach the staircase/irregular tests untouched.
     let outlier_cut = 4.0 * median_coverage;
-    let outliers = active.iter().filter(|r| r.max - r.min >= outlier_cut).count();
+    let outliers = active
+        .iter()
+        .filter(|r| r.max - r.min >= outlier_cut)
+        .count();
     if outliers > 0 && outliers * 10 <= active.len() {
         active.retain(|r| r.max - r.min < outlier_cut);
     }
@@ -238,9 +241,14 @@ mod tests {
         assert_eq!(classify(&ranges), AccessPattern::FullRange);
         // A ~0.8-coverage staggered span (Blackscholes' five sections) is
         // NOT full-range.
-        let staggered: Vec<_> = (0..8).map(|i| tr(i, i as f64 * 0.004, 0.8 + i as f64 * 0.004)).collect();
+        let staggered: Vec<_> = (0..8)
+            .map(|i| tr(i, i as f64 * 0.004, 0.8 + i as f64 * 0.004))
+            .collect();
         assert_eq!(classify(&staggered), AccessPattern::StaggeredOverlap);
-        assert_eq!(recommend(AccessPattern::FullRange), Recommendation::Interleave);
+        assert_eq!(
+            recommend(AccessPattern::FullRange),
+            Recommendation::Interleave
+        );
     }
 
     #[test]
@@ -308,6 +316,9 @@ mod tests {
         };
         // Identical windows: ascending-with-ties ⇒ staircase with full
         // overlap ⇒ staggered.
-        assert_eq!(classify_with(&ranges, &lax), AccessPattern::StaggeredOverlap);
+        assert_eq!(
+            classify_with(&ranges, &lax),
+            AccessPattern::StaggeredOverlap
+        );
     }
 }

@@ -79,9 +79,7 @@ fn advise(analyzer: &Analyzer, summary: VarAnalysis) -> VarAdvice {
     let regions = analyzer.var_regions(var);
     let dominant_region = regions
         .first()
-        .filter(|(_, share)| {
-            *share >= DOMINANT_REGION_SHARE || pattern == AccessPattern::Irregular
-        })
+        .filter(|(_, share)| *share >= DOMINANT_REGION_SHARE || pattern == AccessPattern::Irregular)
         .map(|&(region, share)| {
             let ranges = analyzer.thread_ranges(var, RangeScope::Region(region));
             RegionAdvice {
@@ -282,8 +280,7 @@ mod tests {
 
     fn blocked_profile() -> Analyzer {
         let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
-        let config =
-            ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8));
+        let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8));
         let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, 8));
         let mut p = Program::new(machine, 8, ExecMode::Sequential, profiler.clone());
         let size = 4u64 << 20;

@@ -90,7 +90,10 @@ pub fn render_metric_table(rows: &[(String, MetricSet)], domains: usize) -> Stri
             m.latency_remote,
         ));
         for d in 0..domains {
-            out.push_str(&format!(" {:>9}", m.per_domain.get(d).copied().unwrap_or(0)));
+            out.push_str(&format!(
+                " {:>9}",
+                m.per_domain.get(d).copied().unwrap_or(0)
+            ));
         }
         out.push('\n');
     }
@@ -136,7 +139,9 @@ pub fn render_cct(analyzer: &Analyzer, min_share: f64) -> String {
     ));
     out.push_str(&"-".repeat(92));
     out.push('\n');
-    render_cct_node(&cct, &inclusive, profile, ROOT, 0, total, min_share, weight, &mut out);
+    render_cct_node(
+        &cct, &inclusive, profile, ROOT, 0, total, min_share, weight, &mut out,
+    );
     out
 }
 
@@ -173,7 +178,17 @@ fn render_cct_node(
     let mut kids = cct.children(id);
     kids.sort_by_key(|&k| std::cmp::Reverse(weight(&inclusive[k as usize])));
     for k in kids {
-        render_cct_node(cct, inclusive, profile, k, depth + 1, total, min_share, weight, out);
+        render_cct_node(
+            cct,
+            inclusive,
+            profile,
+            k,
+            depth + 1,
+            total,
+            min_share,
+            weight,
+            out,
+        );
     }
 }
 
@@ -203,18 +218,18 @@ pub struct AddressViewExport<'a> {
 }
 
 /// Export one variable's view as JSON.
-pub fn export_address_view(
-    analyzer: &Analyzer,
-    var: VarId,
-    scope: RangeScope,
-) -> String {
-    let rec = analyzer.profile().var(var);
+pub fn export_address_view(analyzer: &Analyzer, var: VarId, scope: RangeScope) -> String {
+    let variable = analyzer
+        .profile()
+        .var(var)
+        .map(|rec| rec.name.as_str())
+        .unwrap_or("<unknown>");
     let scope_name = match scope {
         RangeScope::Program => "program".to_string(),
         RangeScope::Region(f) => analyzer.profile().func_name(f).to_string(),
     };
     let export = AddressViewExport {
-        variable: &rec.name,
+        variable,
         scope: scope_name,
         threads: analyzer.thread_ranges(var, scope),
     };

@@ -15,8 +15,8 @@ use numa_sim::ExecMode;
 use numa_workloads::{run_profiled, Lulesh, LuleshVariant};
 
 fn profile_with_bins(bins: u16) -> NumaProfile {
-    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 16))
-        .with_bins(bins);
+    let config =
+        ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 16)).with_bins(bins);
     let (_, _, profile) = run_profiled(
         &Lulesh::new(24, 1, LuleshVariant::Baseline),
         Machine::from_preset(MachinePreset::AmdMagnyCours),
@@ -36,7 +36,10 @@ fn bench_bins(c: &mut Criterion) {
         let a = Analyzer::new(profile.clone());
         let z = a.profile().var_by_name("z").unwrap().id;
         let pattern = classify(&a.thread_ranges(z, RangeScope::Program));
-        println!("bins={bins}: {ranges} range records, z pattern = {}", pattern.name());
+        println!(
+            "bins={bins}: {ranges} range records, z pattern = {}",
+            pattern.name()
+        );
         group.bench_with_input(BenchmarkId::new("analyze", bins), &profile, |b, p| {
             b.iter(|| {
                 let a = Analyzer::new(p.clone());

@@ -45,9 +45,11 @@ fn bench_contention(c: &mut Criterion) {
             "slope={slope}: single-domain/co-located = {:.2}×",
             single as f64 / coloc as f64
         );
-        group.bench_with_input(BenchmarkId::new("single_domain", slope.to_string()), &slope, |b, &s| {
-            b.iter(|| sweep(s, false))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("single_domain", slope.to_string()),
+            &slope,
+            |b, &s| b.iter(|| sweep(s, false)),
+        );
     }
     group.finish();
 }

@@ -27,7 +27,10 @@ fn bench_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(THREADS as u64 * ACCESSES_PER_THREAD));
-    for (label, mode) in [("sequential", ExecMode::Sequential), ("parallel", ExecMode::Parallel)] {
+    for (label, mode) in [
+        ("sequential", ExecMode::Sequential),
+        ("parallel", ExecMode::Parallel),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &m| {
             b.iter(|| run(m))
         });

@@ -29,17 +29,21 @@ fn bench_overhead(c: &mut Criterion) {
         })
     });
     for kind in MechanismKind::ALL {
-        group.bench_with_input(BenchmarkId::new("mechanism", kind.name()), &kind, |b, &k| {
-            b.iter(|| {
-                run_profiled(
-                    &workload(),
-                    Machine::from_preset(MachinePreset::AmdMagnyCours),
-                    8,
-                    ExecMode::Sequential,
-                    ProfilerConfig::new(MechanismConfig::scaled(k, 64)),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mechanism", kind.name()),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    run_profiled(
+                        &workload(),
+                        Machine::from_preset(MachinePreset::AmdMagnyCours),
+                        8,
+                        ExecMode::Sequential,
+                        ProfilerConfig::new(MechanismConfig::scaled(k, 64)),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

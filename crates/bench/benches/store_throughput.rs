@@ -1,0 +1,120 @@
+//! Store throughput: batched ingestion scaling across rayon thread
+//! counts, and cold vs. warm (memoized) analysis queries over a
+//! 32-profile corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use numa_machine::{Machine, MachinePreset};
+use numa_profiler::ProfilerConfig;
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_sim::ExecMode;
+use numa_store::{ProfileStore, Query};
+use numa_workloads::{run_profiled, Blackscholes, BlackscholesVariant};
+use std::time::Instant;
+
+const CORPUS: usize = 32;
+
+/// 32 distinct serialized runs (option count varies the content).
+fn corpus() -> Vec<(String, String)> {
+    (0..CORPUS)
+        .map(|i| {
+            let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
+            let w = Blackscholes::new(48 + 8 * i as u64, 3, BlackscholesVariant::Baseline);
+            let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 16));
+            let (_, _, p) = run_profiled(&w, machine, 8, ExecMode::Sequential, config);
+            (format!("run-{i}"), p.to_json())
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let inputs = corpus();
+    // Thread scaling needs hardware parallelism: on a single-CPU host
+    // the per-thread chunks of the batch just time-slice one core and
+    // the 1/2/4-thread rows read flat.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("store_ingest/note: {cpus} CPU(s) visible to the benchmark");
+    let mut group = c.benchmark_group("store_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CORPUS as u64));
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let store = ProfileStore::new();
+                    let report = pool.install(|| store.ingest_batch(inputs));
+                    assert_eq!(report.added.len(), CORPUS);
+                    store.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let store = ProfileStore::new();
+    let report = store.ingest_batch(&corpus());
+    assert_eq!(report.added.len(), CORPUS);
+    let first = store.ids()[0];
+
+    let mut group = c.benchmark_group("store_query");
+    group.sample_size(10);
+    group.bench_function("aggregate_cold", |b| {
+        b.iter(|| {
+            store.clear_cache();
+            black_box(store.aggregate().unwrap())
+        })
+    });
+    group.bench_function("aggregate_warm", |b| {
+        store.clear_cache();
+        store.aggregate().unwrap();
+        b.iter(|| black_box(store.aggregate().unwrap()))
+    });
+    group.bench_function("report_cold", |b| {
+        b.iter(|| {
+            store.clear_cache();
+            black_box(store.query(Query::TextReport(first)).unwrap())
+        })
+    });
+    group.bench_function("report_warm", |b| {
+        store.clear_cache();
+        store.query(Query::TextReport(first)).unwrap();
+        b.iter(|| black_box(store.query(Query::TextReport(first)).unwrap()))
+    });
+    group.finish();
+
+    // Headline number: warm over cold, measured directly.
+    let timed = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        for _ in 0..20 {
+            f();
+        }
+        t.elapsed().as_secs_f64() / 20.0
+    };
+    store.clear_cache();
+    let cold = timed(&mut || {
+        store.clear_cache();
+        black_box(store.aggregate().unwrap());
+    });
+    store.clear_cache();
+    store.aggregate().unwrap();
+    let warm = timed(&mut || {
+        black_box(store.aggregate().unwrap());
+    });
+    println!(
+        "store_query/summary: cold {:.3} ms, warm {:.6} ms — ×{:.0} speedup over {} profiles",
+        cold * 1e3,
+        warm * 1e3,
+        cold / warm.max(1e-9),
+        CORPUS
+    );
+}
+
+criterion_group!(benches, bench_ingest, bench_queries);
+criterion_main!(benches);

@@ -60,7 +60,10 @@ fn main() {
     let (t2, imb2, _) = run(Dist::Interleaved, "interleaved");
     let (t3, imb3, _) = run(Dist::CoLocated, "co-located (block-wise)");
 
-    println!("\n{:<28} {:>16} {:>20} {:>18}", "distribution", "cycles", "vs single-domain", "DRAM imbalance ×");
+    println!(
+        "\n{:<28} {:>16} {:>20} {:>18}",
+        "distribution", "cycles", "vs single-domain", "DRAM imbalance ×"
+    );
     println!("{}", "-".repeat(86));
     for (label, t, imb) in [
         ("1: all in one domain", t1, imb1),
@@ -82,17 +85,29 @@ fn main() {
             Row::new(
                 "single-domain suffers locality AND bandwidth",
                 "slowest",
-                if t1 > t2 && t1 > t3 { "slowest" } else { "NOT slowest" },
+                if t1 > t2 && t1 > t3 {
+                    "slowest"
+                } else {
+                    "NOT slowest"
+                },
             ),
             Row::new(
                 "interleaving avoids centralized contention",
                 "middle",
-                if t2 < t1 && t2 > t3 { "middle" } else { "check" },
+                if t2 < t1 && t2 > t3 {
+                    "middle"
+                } else {
+                    "check"
+                },
             ),
             Row::new(
                 "co-location is the most powerful optimization",
                 "fastest",
-                if t3 < t2 && t3 < t1 { "fastest" } else { "NOT fastest" },
+                if t3 < t2 && t3 < t1 {
+                    "fastest"
+                } else {
+                    "NOT fastest"
+                },
             ),
         ],
     );

@@ -48,7 +48,11 @@ fn main() {
             Row::new(
                 "STime identified among the hot variables",
                 "yes",
-                if hot.iter().take(2).any(|v| v.name == "STime") { "yes" } else { "no" },
+                if hot.iter().take(2).any(|v| v.name == "STime") {
+                    "yes"
+                } else {
+                    "no"
+                },
             ),
         ],
     );
@@ -58,7 +62,12 @@ fn main() {
     println!();
     print!(
         "{}",
-        render_address_view(&a, stime, RangeScope::Program, "Fig.10: STime (whole program)")
+        render_address_view(
+            &a,
+            stime,
+            RangeScope::Program,
+            "Fig.10: STime (whole program)"
+        )
     );
     println!(
         "pattern: {}\n",

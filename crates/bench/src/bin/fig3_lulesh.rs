@@ -18,7 +18,10 @@ fn var(a: &Analyzer, name: &str) -> VarId {
 
 fn main() {
     println!("LULESH case study (§8.1 / Figure 3)");
-    println!("profiling LULESH (edge {}, 48 threads) with IBS on AMD Magny-Cours…", lulesh_bench(LuleshVariant::Baseline).edge);
+    println!(
+        "profiling LULESH (edge {}, 48 threads) with IBS on AMD Magny-Cours…",
+        lulesh_bench(LuleshVariant::Baseline).edge
+    );
 
     let app = lulesh_bench(LuleshVariant::Baseline);
     let (_, _, profile) = profile_workload(&app, amd(), 48, MechanismKind::Ibs);
@@ -29,7 +32,11 @@ fn main() {
     let z = var(&a, "z");
     let zm = a.var_metrics(z);
     let z_ratio = zm.m_remote as f64 / zm.m_local.max(1) as f64;
-    let z_share = hot.iter().find(|v| v.name == "z").map(|v| v.remote_share).unwrap_or(0.0);
+    let z_share = hot
+        .iter()
+        .find(|v| v.name == "z")
+        .map(|v| v.remote_share)
+        .unwrap_or(0.0);
     let nodelist = var(&a, "nodelist");
     let nm = a.var_metrics(nodelist);
     let n_share = hot
@@ -57,7 +64,11 @@ fn main() {
             Row::new(
                 "verdict (> 0.1 ⇒ optimize)",
                 "optimize",
-                if program.warrants_optimization() { "optimize" } else { "skip" },
+                if program.warrants_optimization() {
+                    "optimize"
+                } else {
+                    "skip"
+                },
             ),
             Row::new(
                 "heap vars lpi (cycles/sampled access)",
@@ -69,12 +80,20 @@ fn main() {
                 "74.2%",
                 format!("{:.1}%", program.remote_latency_fraction * 100.0),
             ),
-            Row::new("z: share of remote latency", "11.3%", format!("{:.1}%", z_share * 100.0)),
+            Row::new(
+                "z: share of remote latency",
+                "11.3%",
+                format!("{:.1}%", z_share * 100.0),
+            ),
             Row::new("z: M_r / M_l", "~7", format!("{z_ratio:.1}")),
             Row::new(
                 "z: all requests to NUMA domain 0",
                 "yes",
-                if zm.per_domain[0] == zm.resolved_samples() { "yes" } else { "no" },
+                if zm.per_domain[0] == zm.resolved_samples() {
+                    "yes"
+                } else {
+                    "no"
+                },
             ),
             Row::new(
                 "nodelist: share of remote cost",
@@ -92,7 +111,10 @@ fn main() {
     // The address-centric view of z: the blocked staircase that guides the
     // block-wise distribution.
     println!();
-    print!("{}", render_address_view(&a, z, RangeScope::Program, "z (whole program)"));
+    print!(
+        "{}",
+        render_address_view(&a, z, RangeScope::Program, "z (whole program)")
+    );
     let pattern = classify(&a.thread_ranges(z, RangeScope::Program));
     println!("classified pattern for z: {}\n", pattern.name());
 
@@ -156,8 +178,12 @@ fn main() {
 
     // POWER7 / MRK measurement view (§8.1's closing paragraph).
     println!("\nprofiling LULESH with MRK on POWER7…");
-    let (_, _, p7_profile) =
-        profile_workload(&lulesh_bench(LuleshVariant::Baseline), power7(), 128, MechanismKind::Mrk);
+    let (_, _, p7_profile) = profile_workload(
+        &lulesh_bench(LuleshVariant::Baseline),
+        power7(),
+        128,
+        MechanismKind::Mrk,
+    );
     let pa = Analyzer::new(p7_profile);
     let p7 = pa.program();
     let heap_share = p7.heap_share;

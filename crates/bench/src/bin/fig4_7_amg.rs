@@ -101,7 +101,12 @@ fn main() {
     println!();
     print!(
         "{}",
-        render_address_view(&a, rap_data, RangeScope::Program, "Fig.4: RAP_diag_data (whole program)")
+        render_address_view(
+            &a,
+            rap_data,
+            RangeScope::Program,
+            "Fig.4: RAP_diag_data (whole program)"
+        )
     );
     println!(
         "pattern: {}\n",
@@ -124,7 +129,12 @@ fn main() {
     // Figures 6 & 7: same drill-down for RAP_diag_j.
     print!(
         "{}",
-        render_address_view(&a, rap_j, RangeScope::Program, "Fig.6: RAP_diag_j (whole program)")
+        render_address_view(
+            &a,
+            rap_j,
+            RangeScope::Program,
+            "Fig.6: RAP_diag_j (whole program)"
+        )
     );
     println!(
         "pattern: {}\n",
@@ -168,12 +178,18 @@ fn main() {
             Row::new(
                 "guided mix (block-wise + interleave)",
                 "-51%",
-                format!("{:+.1}%", (guided as f64 - base as f64) / base as f64 * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (guided as f64 - base as f64) / base as f64 * 100.0
+                ),
             ),
             Row::new(
                 "interleave everything (prior work)",
                 "-36%",
-                format!("{:+.1}%", (inter as f64 - base as f64) / base as f64 * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (inter as f64 - base as f64) / base as f64 * 100.0
+                ),
             ),
             Row::new(
                 "guided beats interleave-all",

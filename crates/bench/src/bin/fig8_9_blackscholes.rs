@@ -59,7 +59,11 @@ fn main() {
             Row::new(
                 "buffer allocated in one domain by master",
                 "yes",
-                if bm.per_domain[0] == bm.resolved_samples() { "yes" } else { "no" },
+                if bm.per_domain[0] == bm.resolved_samples() {
+                    "yes"
+                } else {
+                    "no"
+                },
             ),
         ],
     );
@@ -68,7 +72,12 @@ fn main() {
     println!();
     print!(
         "{}",
-        render_address_view(&a, buffer, RangeScope::Program, "Fig.8: buffer (whole program)")
+        render_address_view(
+            &a,
+            buffer,
+            RangeScope::Program,
+            "Fig.8: buffer (whole program)"
+        )
     );
     println!(
         "pattern: {} (⇒ regroup sections into AoS + parallel first touch)\n",

@@ -12,8 +12,8 @@ use numa_bench::{fmt_pct, print_comparison, profile_workload, Row, MODE};
 use numa_machine::{Machine, MachinePreset};
 use numa_sampling::MechanismKind;
 use numa_workloads::{
-    run_unmonitored, Amg2006, AmgVariant, Blackscholes, BlackscholesVariant, Lulesh,
-    LuleshVariant, Workload,
+    run_unmonitored, Amg2006, AmgVariant, Blackscholes, BlackscholesVariant, Lulesh, LuleshVariant,
+    Workload,
 };
 
 /// Paper overhead percentages (Table 2), per mechanism ×
@@ -39,7 +39,7 @@ fn preset_for(kind: MechanismKind) -> MachinePreset {
 
 fn workloads(threads: usize) -> Vec<(&'static str, Box<dyn Workload>)> {
     // Inputs scaled with the thread count, as the paper scaled per machine.
-    let edge = 24 + 2 * (threads as usize).min(24);
+    let edge = 24 + 2 * threads.min(24);
     vec![
         (
             "LULESH",

@@ -12,8 +12,8 @@ use numa_profiler::ProfilerConfig;
 use numa_sampling::{MechanismConfig, MechanismKind};
 use numa_sim::ExecMode;
 use numa_workloads::{
-    run_profiled, run_unmonitored, Amg2006, AmgVariant, Blackscholes, BlackscholesVariant,
-    Lulesh, LuleshVariant, Umt2013, UmtVariant, Workload,
+    run_profiled, run_unmonitored, Amg2006, AmgVariant, Blackscholes, BlackscholesVariant, Lulesh,
+    LuleshVariant, Umt2013, UmtVariant, Workload,
 };
 
 /// One paper-vs-measured comparison row.

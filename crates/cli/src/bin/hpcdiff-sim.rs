@@ -25,8 +25,14 @@ fn main() {
     let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
     args.check_known(&["before", "after", "format"])
         .unwrap_or_else(|e| die(USAGE, &e));
-    let before = load(args.get("before").unwrap_or_else(|| die(USAGE, "--before is required")));
-    let after = load(args.get("after").unwrap_or_else(|| die(USAGE, "--after is required")));
+    let before = load(
+        args.get("before")
+            .unwrap_or_else(|| die(USAGE, "--before is required")),
+    );
+    let after = load(
+        args.get("after")
+            .unwrap_or_else(|| die(USAGE, "--after is required")),
+    );
     let report = diff(&before, &after);
     match args.get_or("format", "text") {
         "text" => print!("{}", report.render()),

@@ -15,11 +15,14 @@ usage: hpcprof-sim --in PROFILE.json [--format text|json|html] [--out FILE]";
 
 fn main() {
     let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
-    args.check_known(&["in", "format", "out"]).unwrap_or_else(|e| die(USAGE, &e));
-    let path = args.get("in").unwrap_or_else(|| die(USAGE, "--in is required"));
+    args.check_known(&["in", "format", "out"])
+        .unwrap_or_else(|e| die(USAGE, &e));
+    let path = args
+        .get("in")
+        .unwrap_or_else(|| die(USAGE, "--in is required"));
     let json = std::fs::read_to_string(path).unwrap_or_else(|e| die(USAGE, &e.to_string()));
-    let profile = NumaProfile::from_json(&json)
-        .unwrap_or_else(|e| die(USAGE, &format!("bad profile: {e}")));
+    let profile =
+        NumaProfile::from_json(&json).unwrap_or_else(|e| die(USAGE, &format!("bad profile: {e}")));
     let analyzer = Analyzer::new(profile);
     let output = match args.get_or("format", "text") {
         "text" => full_text_report(&analyzer),

@@ -29,13 +29,21 @@ usage: hpcrun-sim [--workload lulesh|amg2006|blackscholes|umt2013]
 fn main() {
     let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
     args.check_known(&[
-        "workload", "variant", "machine", "mechanism", "threads", "size", "scale", "bins",
-        "mode", "trace", "out",
+        "workload",
+        "variant",
+        "machine",
+        "mechanism",
+        "threads",
+        "size",
+        "scale",
+        "bins",
+        "mode",
+        "trace",
+        "out",
     ])
     .unwrap_or_else(|e| die(USAGE, &e));
 
-    let machine =
-        parse_machine(args.get_or("machine", "amd")).unwrap_or_else(|e| die(USAGE, &e));
+    let machine = parse_machine(args.get_or("machine", "amd")).unwrap_or_else(|e| die(USAGE, &e));
     let mechanism =
         parse_mechanism(args.get_or("mechanism", "ibs")).unwrap_or_else(|e| die(USAGE, &e));
     let workload = parse_workload(
@@ -48,8 +56,12 @@ fn main() {
     let threads: usize = args
         .get_parsed("threads", default_threads)
         .unwrap_or_else(|e| die(USAGE, &e));
-    let scale: u64 = args.get_parsed("scale", 64).unwrap_or_else(|e| die(USAGE, &e));
-    let bins: u16 = args.get_parsed("bins", 5).unwrap_or_else(|e| die(USAGE, &e));
+    let scale: u64 = args
+        .get_parsed("scale", 64)
+        .unwrap_or_else(|e| die(USAGE, &e));
+    let bins: u16 = args
+        .get_parsed("bins", 5)
+        .unwrap_or_else(|e| die(USAGE, &e));
     let mode = match args.get_or("mode", "seq") {
         "seq" => ExecMode::Sequential,
         "par" => ExecMode::Parallel,

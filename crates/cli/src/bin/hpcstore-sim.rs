@@ -1,0 +1,134 @@
+//! `hpcstore-sim`: batch front end over the multi-profile analysis
+//! store. Ingests a directory of profiles written by `hpcrun-sim`,
+//! dedups them by content, and answers analysis queries through the
+//! store's memo cache.
+//!
+//! ```text
+//! hpcstore-sim --dir runs/ --cmd aggregate
+//! hpcstore-sim --dir runs/ --cmd top --n 5
+//! hpcstore-sim --dir runs/ --cmd report --profile lulesh.profile.json
+//! hpcstore-sim --dir runs/ --cmd view --profile 1a2b --var m_matrix
+//! hpcstore-sim --dir runs/ --cmd diff --before baseline.json --after tuned.json
+//! hpcstore-sim --dir runs/ --cmd stats
+//! ```
+
+use numa_store::{ProfileStore, Query, StoredProfile};
+use numa_tools::{die, Args};
+use std::path::Path;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: hpcstore-sim --dir PROFILES_DIR --cmd stats|list|aggregate|top|report|view|diff
+                    [--n N]                (top: how many variables; default 5)
+                    [--profile REF]        (report/view: id prefix or file name)
+                    [--var NAME]           (view: variable source name)
+                    [--before REF --after REF]  (diff)
+                    [--format text|json]   (report; default text)
+                    [--out FILE]";
+
+fn main() {
+    let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
+    args.check_known(&[
+        "dir", "cmd", "n", "profile", "var", "before", "after", "format", "out",
+    ])
+    .unwrap_or_else(|e| die(USAGE, &e));
+
+    let dir = args
+        .get("dir")
+        .unwrap_or_else(|| die(USAGE, "--dir is required"));
+    let store = ProfileStore::new();
+    let report = store
+        .ingest_dir(Path::new(dir))
+        .unwrap_or_else(|e| die(USAGE, &format!("cannot read {dir}: {e}")));
+    for (label, err) in &report.rejected {
+        eprintln!("hpcstore-sim: skipping {label}: {err}");
+    }
+    eprintln!(
+        "hpcstore-sim: {} profile(s) ingested from {dir} ({} deduplicated, {} rejected)",
+        report.added.len(),
+        report.deduplicated,
+        report.rejected.len()
+    );
+
+    let resolve = |key: &str| -> Arc<StoredProfile> {
+        let needle = args
+            .get(key)
+            .unwrap_or_else(|| die(USAGE, &format!("--{key} is required for this command")));
+        store.resolve(needle).unwrap_or_else(|| {
+            die(
+                USAGE,
+                &format!("--{key} {needle:?} matches no stored profile"),
+            )
+        })
+    };
+
+    let output = match args.get_or("cmd", "stats") {
+        "stats" => store.stats().render(),
+        "list" => {
+            let mut out = String::new();
+            for id in store.ids() {
+                let sp = store.get(id).expect("listed id resolves");
+                out.push_str(&format!(
+                    "{id}  {:<32} {} thread(s), {} KiB\n",
+                    sp.label,
+                    sp.profile.threads.len(),
+                    sp.json_bytes / 1024
+                ));
+            }
+            out
+        }
+        "aggregate" => run_query(&store, Query::Aggregate),
+        "top" => {
+            let n: usize = args.get_parsed("n", 5).unwrap_or_else(|e| die(USAGE, &e));
+            run_query(&store, Query::TopVariables(n))
+        }
+        "report" => {
+            let sp = resolve("profile");
+            match args.get_or("format", "text") {
+                "text" => run_query(&store, Query::TextReport(sp.id)),
+                "json" => run_query(&store, Query::ReportJson(sp.id)),
+                other => die(USAGE, &format!("unknown format {other:?}")),
+            }
+        }
+        "view" => {
+            let sp = resolve("profile");
+            let var = args
+                .get("var")
+                .unwrap_or_else(|| die(USAGE, "--var is required for view"));
+            run_query(
+                &store,
+                Query::AddressView {
+                    profile: sp.id,
+                    var: var.to_string(),
+                },
+            )
+        }
+        "diff" => {
+            let before = resolve("before");
+            let after = resolve("after");
+            run_query(
+                &store,
+                Query::Diff {
+                    before: before.id,
+                    after: after.id,
+                },
+            )
+        }
+        other => die(USAGE, &format!("unknown command {other:?}")),
+    };
+
+    match args.get("out") {
+        None => print!("{output}"),
+        Some(path) => {
+            std::fs::write(path, output).unwrap_or_else(|e| die(USAGE, &e.to_string()));
+            eprintln!("hpcstore-sim: wrote {path}");
+        }
+    }
+}
+
+fn run_query(store: &ProfileStore, q: Query) -> String {
+    store
+        .query(q)
+        .unwrap_or_else(|e| die(USAGE, &e.to_string()))
+        .text()
+}

@@ -28,10 +28,12 @@ fn main() {
     let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
     args.check_known(&["in", "var", "region", "format", "list", "pane"])
         .unwrap_or_else(|e| die(USAGE, &e));
-    let path = args.get("in").unwrap_or_else(|| die(USAGE, "--in is required"));
+    let path = args
+        .get("in")
+        .unwrap_or_else(|| die(USAGE, "--in is required"));
     let json = std::fs::read_to_string(path).unwrap_or_else(|e| die(USAGE, &e.to_string()));
-    let profile = NumaProfile::from_json(&json)
-        .unwrap_or_else(|e| die(USAGE, &format!("bad profile: {e}")));
+    let profile =
+        NumaProfile::from_json(&json).unwrap_or_else(|e| die(USAGE, &format!("bad profile: {e}")));
     let analyzer = Analyzer::new(profile);
 
     if let Some(pane) = args.get("pane") {
@@ -75,11 +77,18 @@ fn main() {
         return;
     }
 
-    let var_name = args.get("var").unwrap_or_else(|| die(USAGE, "--var is required"));
+    let var_name = args
+        .get("var")
+        .unwrap_or_else(|| die(USAGE, "--var is required"));
     let var = analyzer
         .profile()
         .var_by_name(var_name)
-        .unwrap_or_else(|| die(USAGE, &format!("no variable named {var_name:?} (try --list vars)")))
+        .unwrap_or_else(|| {
+            die(
+                USAGE,
+                &format!("no variable named {var_name:?} (try --list vars)"),
+            )
+        })
         .id;
     let scope = match args.get("region") {
         None => RangeScope::Program,
@@ -91,7 +100,10 @@ fn main() {
                 .position(|n| n == region)
                 .map(|i| FuncId(i as u32))
                 .unwrap_or_else(|| {
-                    die(USAGE, &format!("no region named {region:?} (try --list regions)"))
+                    die(
+                        USAGE,
+                        &format!("no region named {region:?} (try --list regions)"),
+                    )
                 });
             RangeScope::Region(f)
         }

@@ -29,11 +29,11 @@ pub struct Args {
 impl Args {
     /// Parse `std::env::args()`. Flags must come in `--key value` pairs.
     pub fn parse() -> Result<Args, String> {
-        Self::from_iter(std::env::args())
+        Self::from_args(std::env::args())
     }
 
     /// Parse an explicit argument sequence (first item = program name).
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         let mut it = args.into_iter();
         let program = it.next().unwrap_or_default();
         let mut map = BTreeMap::new();
@@ -65,7 +65,9 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
         }
     }
 
@@ -75,7 +77,11 @@ impl Args {
             if !known.contains(&k.as_str()) {
                 return Err(format!(
                     "unknown flag --{k}; known flags: {}",
-                    known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(" ")
+                    known
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
                 ));
             }
         }
@@ -91,7 +97,11 @@ pub fn parse_machine(name: &str) -> Result<Machine, String> {
         "harpertown" => MachinePreset::IntelHarpertown,
         "itanium" | "itanium2" => MachinePreset::IntelItanium2,
         "ivybridge" | "ivy-bridge" => MachinePreset::IntelIvyBridge,
-        other => return Err(format!("unknown machine {other:?} (amd, power7, harpertown, itanium2, ivybridge)")),
+        other => {
+            return Err(format!(
+                "unknown machine {other:?} (amd, power7, harpertown, itanium2, ivybridge)"
+            ))
+        }
     };
     Ok(Machine::from_preset(preset))
 }
@@ -181,7 +191,9 @@ mod tests {
     use super::*;
 
     fn args_of(s: &str) -> Result<Args, String> {
-        Args::from_iter(std::iter::once("prog".to_string()).chain(s.split_whitespace().map(String::from)))
+        Args::from_args(
+            std::iter::once("prog".to_string()).chain(s.split_whitespace().map(String::from)),
+        )
     }
 
     #[test]

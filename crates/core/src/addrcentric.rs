@@ -87,10 +87,14 @@ impl AddressRanges {
 
     /// Record a sampled access to `var`/`bin`, inside `region` if the
     /// sample's call path contains a parallel region.
+    ///
+    /// Samples without an effective address (a mechanism that attributed
+    /// the access to a variable without capturing the address) carry no
+    /// address-centric information and are skipped rather than panicking.
     pub fn record(&mut self, var: VarId, bin: u16, region: Option<FuncId>, sample: &Sample) {
-        let addr = sample
-            .addr
-            .expect("address-centric attribution needs an effective address");
+        let Some(addr) = sample.addr else {
+            return;
+        };
         let latency = sample.latency.unwrap_or(0) as u64;
         let latency_remote = if sample.level.is_some_and(|l| l.is_remote()) {
             latency
@@ -134,7 +138,8 @@ impl AddressRanges {
 
     /// Approximate resident bytes.
     pub fn footprint_bytes(&self) -> usize {
-        self.ranges.len() * (std::mem::size_of::<RangeKey>() + std::mem::size_of::<RangeStat>() + 16)
+        self.ranges.len()
+            * (std::mem::size_of::<RangeKey>() + std::mem::size_of::<RangeStat>() + 16)
     }
 }
 
@@ -172,7 +177,11 @@ mod tests {
         ar.record(v, 0, None, &sample(0x500, None));
         ar.record(v, 0, None, &sample(0x100, None));
         ar.record(v, 0, None, &sample(0x900, None));
-        let key = RangeKey { var: v, bin: 0, scope: RangeScope::Program };
+        let key = RangeKey {
+            var: v,
+            bin: 0,
+            scope: RangeScope::Program,
+        };
         let s = ar.get(&key).unwrap();
         assert_eq!((s.min_addr, s.max_addr, s.count), (0x100, 0x900, 3));
     }
@@ -185,12 +194,20 @@ mod tests {
         ar.record(v, 2, Some(region), &sample(0x100, Some(50)));
         ar.record(v, 2, None, &sample(0x200, Some(70)));
         let prog = ar
-            .get(&RangeKey { var: v, bin: 2, scope: RangeScope::Program })
+            .get(&RangeKey {
+                var: v,
+                bin: 2,
+                scope: RangeScope::Program,
+            })
             .unwrap();
         assert_eq!(prog.count, 2);
         assert_eq!(prog.latency, 120);
         let reg = ar
-            .get(&RangeKey { var: v, bin: 2, scope: RangeScope::Region(region) })
+            .get(&RangeKey {
+                var: v,
+                bin: 2,
+                scope: RangeScope::Region(region),
+            })
             .unwrap();
         assert_eq!(reg.count, 1);
         assert_eq!(reg.latency, 50);

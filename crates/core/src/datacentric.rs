@@ -105,6 +105,7 @@ impl VariableRegistry {
     }
 
     /// Register a variable; returns its id.
+    #[allow(clippy::too_many_arguments)] // mirrors the allocation event's fields
     pub fn register(
         &self,
         name: &str,
@@ -173,8 +174,7 @@ impl VariableRegistry {
     /// Approximate resident bytes.
     pub fn footprint_bytes(&self) -> usize {
         let inner = self.inner.read();
-        inner.vars.len() * (std::mem::size_of::<VarRecord>() + 32)
-            + inner.by_range.len() * 40
+        inner.vars.len() * (std::mem::size_of::<VarRecord>() + 32) + inner.by_range.len() * 40
     }
 }
 

@@ -46,6 +46,13 @@ pub struct MetricSet {
     pub latency_total: u64,
     /// Sampled latency served from remote sources (`l^s_NUMA`).
     pub latency_remote: u64,
+    /// Samples whose mechanism reported a latency field at all. This is
+    /// what distinguishes "no latency captured" from "zero remote
+    /// latency": `latency_total` alone conflates the two when every
+    /// captured latency is local or zero-cycle. Defaults to 0 when
+    /// deserializing profiles written before the field existed.
+    #[serde(default)]
+    pub latency_samples: u64,
     /// Memory samples.
     pub samples_mem: u64,
     /// Sampled instructions `I^s` (memory samples + non-memory instruction
@@ -88,6 +95,7 @@ impl MetricSet {
             }
         }
         if let Some(lat) = s.latency {
+            self.latency_samples += 1;
             self.latency_total += lat as u64;
             if s.level.is_some_and(|l| l.is_remote()) {
                 self.latency_remote += lat as u64;
@@ -121,6 +129,7 @@ impl MetricSet {
         }
         self.latency_total += other.latency_total;
         self.latency_remote += other.latency_remote;
+        self.latency_samples += other.latency_samples;
         self.samples_mem += other.samples_mem;
         self.samples_instr += other.samples_instr;
         self.loads += other.loads;
@@ -144,10 +153,16 @@ impl MetricSet {
     }
 
     /// NUMA latency per sampled instruction: Eq. 2's
-    /// `lpi ≈ l^s_NUMA / I^s`. `None` when the mechanism captured no
-    /// latency or no instruction samples exist.
+    /// `lpi ≈ l^s_NUMA / I^s`.
+    ///
+    /// Contract: `None` exactly when the estimate is undefined — no
+    /// instruction samples exist, or no sample ever carried a latency
+    /// field (the mechanism lacks latency capability). A mechanism that
+    /// *did* capture latency but observed only local (or zero-cycle)
+    /// traffic yields `Some(0.0)`: that is a measured "no NUMA cost", not
+    /// a missing measurement.
     pub fn lpi_numa(&self) -> Option<f64> {
-        if self.samples_instr == 0 || self.latency_total == 0 {
+        if self.samples_instr == 0 || self.latency_samples == 0 {
             return None;
         }
         Some(self.latency_remote as f64 / self.samples_instr as f64)
@@ -260,7 +275,46 @@ mod tests {
         let mut m = MetricSet::new(2);
         m.add_sample(&sample(0, None, None), Some(DomainId(1)), false);
         m.add_instruction_samples(10);
+        assert_eq!(m.latency_samples, 0);
         assert_eq!(m.lpi_numa(), None);
+    }
+
+    #[test]
+    fn lpi_zero_cycle_latencies_are_a_measurement_not_a_gap() {
+        // Eq. 2 edge case: the mechanism captured latency on every sample,
+        // but each captured latency was 0 cycles (all satisfied locally).
+        // `latency_total == 0` here must NOT read as "no latency
+        // capability": the contract is Some(0.0), distinguished from the
+        // None of `lpi_unavailable_without_latency`.
+        let mut m = MetricSet::new(2);
+        for _ in 0..8 {
+            m.add_sample(
+                &sample(0, Some(0), Some(AccessLevel::L1)),
+                Some(DomainId(0)),
+                false,
+            );
+        }
+        assert_eq!(m.latency_total, 0);
+        assert_eq!(m.latency_samples, 8);
+        assert_eq!(m.lpi_numa(), Some(0.0));
+    }
+
+    #[test]
+    fn lpi_contract_survives_merge() {
+        // Merging a latency-bearing set into a latency-less one keeps the
+        // "was latency captured" bit.
+        let mut no_lat = MetricSet::new(2);
+        no_lat.add_sample(&sample(0, None, None), Some(DomainId(1)), false);
+        assert_eq!(no_lat.lpi_numa(), None);
+        let mut with_lat = MetricSet::new(2);
+        with_lat.add_sample(
+            &sample(0, Some(0), Some(AccessLevel::L1)),
+            Some(DomainId(0)),
+            false,
+        );
+        no_lat.merge(&with_lat);
+        assert_eq!(no_lat.latency_samples, 1);
+        assert_eq!(no_lat.lpi_numa(), Some(0.0));
     }
 
     #[test]

@@ -64,9 +64,12 @@ impl NumaProfile {
             .unwrap_or("<unknown>")
     }
 
-    /// Variable record by id.
-    pub fn var(&self, id: VarId) -> &VarRecord {
-        &self.vars[id.0 as usize]
+    /// Variable record by id. Returns `None` for ids with no record —
+    /// possible when analyzing a truncated or hand-edited profile whose
+    /// metric tables reference variables missing from `vars` — so query
+    /// paths degrade gracefully instead of panicking on malformed input.
+    pub fn var(&self, id: VarId) -> Option<&VarRecord> {
+        self.vars.get(id.0 as usize)
     }
 
     /// Look up a variable by source name (first match).

@@ -5,7 +5,7 @@
 use crate::addrcentric::AddressRanges;
 use crate::cct::Cct;
 use crate::config::ProfilerConfig;
-use crate::datacentric::{bins_for, VariableRegistry, VarId};
+use crate::datacentric::{bins_for, VarId, VariableRegistry};
 use crate::firsttouch::{FirstTouchGranularity, FirstTouchRecord, FirstTouchStore};
 use crate::metrics::MetricSet;
 use crate::profile::{NumaProfile, ThreadProfile};
@@ -113,9 +113,7 @@ impl NumaProfiler {
             .iter()
             .map(|t| {
                 let t = t.lock();
-                t.cct.footprint_bytes()
-                    + t.ranges.footprint_bytes()
-                    + t.var_metrics.len() * 256
+                t.cct.footprint_bytes() + t.ranges.footprint_bytes() + t.var_metrics.len() * 256
             })
             .sum();
         threads + self.vars.footprint_bytes() + self.first_touch.len() * 128
@@ -134,8 +132,7 @@ impl NumaProfiler {
             .enumerate()
             .map(|(tid, t)| {
                 let t = t.into_inner();
-                let mut var_metrics: Vec<(VarId, MetricSet)> =
-                    t.var_metrics.into_iter().collect();
+                let mut var_metrics: Vec<(VarId, MetricSet)> = t.var_metrics.into_iter().collect();
                 var_metrics.sort_by_key(|(v, _)| *v);
                 ThreadProfile {
                     tid,
@@ -175,7 +172,11 @@ impl Monitor for NumaProfiler {
         if !self.monitored(info.kind) {
             return 0;
         }
-        let bins = bins_for(info.bytes, self.config.bins, self.config.bin_threshold_pages);
+        let bins = bins_for(
+            info.bytes,
+            self.config.bins,
+            self.config.bin_threshold_pages,
+        );
         self.vars.register(
             info.name,
             info.addr,
@@ -186,7 +187,10 @@ impl Monitor for NumaProfiler {
             bins,
         );
         if self.config.first_touch {
-            let pages = self.machine.page_map().protect_extent(info.addr, info.bytes);
+            let pages = self
+                .machine
+                .page_map()
+                .protect_extent(info.addr, info.bytes);
             return pages * self.config.protect_cost_per_page + 50;
         }
         0
@@ -426,8 +430,7 @@ mod tests {
     #[test]
     fn footprint_stays_small() {
         let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
-        let config =
-            ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::SoftIbs, 16));
+        let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::SoftIbs, 16));
         let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, 8));
         let mut p = Program::new(machine, 8, ExecMode::Sequential, profiler.clone());
         let mut base = 0;
@@ -450,8 +453,7 @@ mod tests {
     #[test]
     fn static_and_stack_variables_can_be_monitored() {
         let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
-        let config =
-            ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::SoftIbs, 1));
+        let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::SoftIbs, 1));
         let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, 2));
         let mut p = Program::new(machine, 2, ExecMode::Sequential, profiler.clone());
         p.serial("main", |ctx| {
@@ -461,7 +463,12 @@ mod tests {
                 PlacementPolicy::FirstTouch,
                 VarKind::Static,
             );
-            let k = ctx.alloc_kind("frame_buf", 64 * 1024, PlacementPolicy::FirstTouch, VarKind::Stack);
+            let k = ctx.alloc_kind(
+                "frame_buf",
+                64 * 1024,
+                PlacementPolicy::FirstTouch,
+                VarKind::Stack,
+            );
             ctx.store_range(s, 64, 64);
             ctx.store_range(k, 64, 64);
         });
@@ -472,8 +479,14 @@ mod tests {
         assert_eq!(k.kind, VarKind::Stack);
         // Both received data-centric samples.
         let t0 = &profile.threads[0];
-        assert!(t0.var_metrics.iter().any(|(v, m)| *v == s.id && m.samples_mem > 0));
-        assert!(t0.var_metrics.iter().any(|(v, m)| *v == k.id && m.samples_mem > 0));
+        assert!(t0
+            .var_metrics
+            .iter()
+            .any(|(v, m)| *v == s.id && m.samples_mem > 0));
+        assert!(t0
+            .var_metrics
+            .iter()
+            .any(|(v, m)| *v == k.id && m.samples_mem > 0));
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl Trace {
             .map(|w| {
                 let ds = w[1].samples - w[0].samples;
                 let dr = w[1].m_remote - w[0].m_remote;
-                (w[1].clock, if ds == 0 { 0.0 } else { dr as f64 / ds as f64 })
+                (
+                    w[1].clock,
+                    if ds == 0 { 0.0 } else { dr as f64 / ds as f64 },
+                )
             })
             .collect()
     }
@@ -162,7 +165,11 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with("t0"));
-        assert!(lines[2].contains('·'), "local thread renders dots: {}", lines[2]);
+        assert!(
+            lines[2].contains('·'),
+            "local thread renders dots: {}",
+            lines[2]
+        );
         assert!(lines[1].contains('█') || lines[1].contains('▇'));
     }
 }

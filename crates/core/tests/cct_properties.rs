@@ -5,24 +5,20 @@ use numa_sim::{Frame, FrameKind, FuncId};
 use proptest::prelude::*;
 
 fn arb_stack() -> impl Strategy<Value = (Vec<Frame>, u32)> {
-    (
-        prop::collection::vec((0u32..12, 0u8..3), 0..6),
-        0u32..5,
-    )
-        .prop_map(|(frames, line)| {
-            let stack = frames
-                .into_iter()
-                .map(|(f, k)| Frame {
-                    func: FuncId(f),
-                    kind: match k {
-                        0 => FrameKind::Function,
-                        1 => FrameKind::ParallelRegion,
-                        _ => FrameKind::Loop,
-                    },
-                })
-                .collect();
-            (stack, line)
-        })
+    (prop::collection::vec((0u32..12, 0u8..3), 0..6), 0u32..5).prop_map(|(frames, line)| {
+        let stack = frames
+            .into_iter()
+            .map(|(f, k)| Frame {
+                func: FuncId(f),
+                kind: match k {
+                    0 => FrameKind::Function,
+                    1 => FrameKind::ParallelRegion,
+                    _ => FrameKind::Loop,
+                },
+            })
+            .collect();
+        (stack, line)
+    })
 }
 
 proptest! {

@@ -79,10 +79,14 @@ impl MemoryControllers {
     /// *estimate*; under sequential execution it is exact and deterministic.
     pub fn record(&self, domain: DomainId) {
         debug_assert!(domain.index() < self.domains);
-        self.current[domain.index()].0.fetch_add(1, Ordering::Relaxed);
-        self.lifetime[domain.index()].0.fetch_add(1, Ordering::Relaxed);
+        self.current[domain.index()]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+        self.lifetime[domain.index()]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
         let n = self.total.fetch_add(1, Ordering::Relaxed) + 1;
-        if n % self.window == 0 {
+        if n.is_multiple_of(self.window) {
             self.rollover();
         }
     }

@@ -52,10 +52,17 @@ impl Interconnect {
         }
         for a in 0..n {
             for b in 0..n {
-                assert_eq!(flat[a * n + b], flat[b * n + a], "hop matrix must be symmetric");
+                assert_eq!(
+                    flat[a * n + b],
+                    flat[b * n + a],
+                    "hop matrix must be symmetric"
+                );
             }
         }
-        Interconnect { domains: n, hops: flat }
+        Interconnect {
+            domains: n,
+            hops: flat,
+        }
     }
 
     pub fn domains(&self) -> usize {

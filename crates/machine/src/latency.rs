@@ -236,8 +236,7 @@ mod tests {
             m.base_latency(AccessLevel::L3Remote, 1)
         );
         assert!(
-            m.latency(AccessLevel::MemRemote, 1, 5.0)
-                > m.base_latency(AccessLevel::MemRemote, 1)
+            m.latency(AccessLevel::MemRemote, 1, 5.0) > m.base_latency(AccessLevel::MemRemote, 1)
         );
     }
 

@@ -272,7 +272,7 @@ impl PageMap {
             .sum()
     }
 
-    fn find<'a>(regions: &'a [Region], addr: u64) -> Option<&'a Region> {
+    fn find(regions: &[Region], addr: u64) -> Option<&Region> {
         let pos = regions.partition_point(|r| r.start <= addr);
         if pos == 0 {
             return None;
@@ -352,7 +352,11 @@ mod tests {
     fn adjacent_regions_allowed() {
         let m = map();
         m.register_region(BASE, 4 * PAGE_SIZE, PlacementPolicy::FirstTouch);
-        m.register_region(BASE + 4 * PAGE_SIZE, PAGE_SIZE, PlacementPolicy::Bind(DomainId(1)));
+        m.register_region(
+            BASE + 4 * PAGE_SIZE,
+            PAGE_SIZE,
+            PlacementPolicy::Bind(DomainId(1)),
+        );
         let q = m.touch(BASE + 4 * PAGE_SIZE, DomainId(0));
         assert_eq!(q.domain, DomainId(1));
     }

@@ -125,7 +125,9 @@ mod tests {
     fn blockwise_remainder_is_balanced() {
         let p = PlacementPolicy::blockwise_all(4);
         // 10 pages over 4 domains: balanced blocks of size 3,2,3,2.
-        let got: Vec<_> = (0..10).map(|i| p.domain_for_page(i, 10).unwrap().0).collect();
+        let got: Vec<_> = (0..10)
+            .map(|i| p.domain_for_page(i, 10).unwrap().0)
+            .collect();
         assert_eq!(got, vec![0, 0, 0, 1, 1, 2, 2, 2, 3, 3]);
     }
 
@@ -141,7 +143,10 @@ mod tests {
                 for i in 0..pages {
                     seen[p.domain_for_page(i, pages).unwrap().0 as usize] = true;
                 }
-                assert!(seen.iter().all(|&s| s), "{pages} pages over {domains} domains");
+                assert!(
+                    seen.iter().all(|&s| s),
+                    "{pages} pages over {domains} domains"
+                );
             }
         }
     }

@@ -37,9 +37,7 @@ impl MachinePreset {
 
     pub fn topology(self) -> Topology {
         match self {
-            MachinePreset::AmdMagnyCours => {
-                Topology::new("AMD Magny-Cours", 8, 2, 6, 1, 16 * GIB)
-            }
+            MachinePreset::AmdMagnyCours => Topology::new("AMD Magny-Cours", 8, 2, 6, 1, 16 * GIB),
             MachinePreset::IbmPower7 => Topology::new("IBM POWER7", 4, 1, 8, 4, 16 * GIB),
             MachinePreset::IntelHarpertown => {
                 Topology::new("Intel Xeon Harpertown", 2, 1, 4, 1, 8 * GIB)

@@ -128,7 +128,7 @@ impl MechanismConfig {
         let mut cfg = Self::paper(kind);
         cfg.period = (cfg.period / factor).max(1);
         cfg.per_sample_cost = (cfg.per_sample_cost / factor).max(1);
-        cfg.correction_cost = cfg.correction_cost / factor;
+        cfg.correction_cost /= factor;
         cfg.refill_factor /= factor as f64;
         cfg.dilution = (cfg.dilution / factor.min(cfg.dilution)).max(1);
         cfg
@@ -237,10 +237,19 @@ mod tests {
     fn paper_periods_match_table1() {
         assert_eq!(MechanismConfig::paper(MechanismKind::Ibs).period, 65536);
         assert_eq!(MechanismConfig::paper(MechanismKind::Mrk).period, 1);
-        assert_eq!(MechanismConfig::paper(MechanismKind::Pebs).period, 1_000_000);
+        assert_eq!(
+            MechanismConfig::paper(MechanismKind::Pebs).period,
+            1_000_000
+        );
         assert_eq!(MechanismConfig::paper(MechanismKind::Dear).period, 20_000);
-        assert_eq!(MechanismConfig::paper(MechanismKind::PebsLl).period, 500_000);
-        assert_eq!(MechanismConfig::paper(MechanismKind::SoftIbs).period, 10_000_000);
+        assert_eq!(
+            MechanismConfig::paper(MechanismKind::PebsLl).period,
+            500_000
+        );
+        assert_eq!(
+            MechanismConfig::paper(MechanismKind::SoftIbs).period,
+            10_000_000
+        );
     }
 
     #[test]

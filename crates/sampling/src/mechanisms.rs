@@ -400,8 +400,14 @@ mod tests {
     fn mrk_only_samples_l3_miss_traffic() {
         let cfg = MechanismConfig::for_tests(MechanismKind::Mrk, 1);
         let mut mrk = Mrk::new(&cfg);
-        assert!(mrk.on_access(&ev(AccessLevel::L1, 4, false)).sample.is_none());
-        assert!(mrk.on_access(&ev(AccessLevel::L3Local, 40, false)).sample.is_none());
+        assert!(mrk
+            .on_access(&ev(AccessLevel::L1, 4, false))
+            .sample
+            .is_none());
+        assert!(mrk
+            .on_access(&ev(AccessLevel::L3Local, 40, false))
+            .sample
+            .is_none());
         let s = mrk.on_access(&ev(AccessLevel::MemRemote, 300, false));
         assert!(s.sample.is_some());
         // MRK has no latency capability (§4.2).
@@ -427,8 +433,14 @@ mod tests {
         let mut cfg = MechanismConfig::for_tests(MechanismKind::Dear, 1);
         cfg.latency_threshold = 8;
         let mut dear = Dear::new(&cfg);
-        assert!(dear.on_access(&ev(AccessLevel::L1, 4, false)).sample.is_none());
-        assert!(dear.on_access(&ev(AccessLevel::MemLocal, 150, true)).sample.is_none());
+        assert!(dear
+            .on_access(&ev(AccessLevel::L1, 4, false))
+            .sample
+            .is_none());
+        assert!(dear
+            .on_access(&ev(AccessLevel::MemLocal, 150, true))
+            .sample
+            .is_none());
         let s = dear.on_access(&ev(AccessLevel::MemLocal, 150, false));
         assert!(s.sample.is_some());
         // No NUMA events on DEAR (§10).
@@ -440,8 +452,14 @@ mod tests {
         let mut cfg = MechanismConfig::for_tests(MechanismKind::PebsLl, 1);
         cfg.latency_threshold = 32;
         let mut ll = PebsLl::new(&cfg);
-        assert!(ll.on_access(&ev(AccessLevel::L2, 12, false)).sample.is_none());
-        let s = ll.on_access(&ev(AccessLevel::MemRemote, 400, false)).sample.unwrap();
+        assert!(ll
+            .on_access(&ev(AccessLevel::L2, 12, false))
+            .sample
+            .is_none());
+        let s = ll
+            .on_access(&ev(AccessLevel::MemRemote, 400, false))
+            .sample
+            .unwrap();
         assert_eq!(s.latency, Some(400));
         assert_eq!(s.level, Some(AccessLevel::MemRemote));
     }
@@ -464,7 +482,9 @@ mod tests {
         // fires exactly count/period times regardless of phase.
         let cfg = MechanismConfig::for_tests_exact(MechanismKind::SoftIbs, 1000);
         let mut soft = SoftIbs::new(&cfg);
-        let events: Vec<_> = (0..100_000).map(|_| ev(AccessLevel::L1, 4, false)).collect();
+        let events: Vec<_> = (0..100_000)
+            .map(|_| ev(AccessLevel::L1, 4, false))
+            .collect();
         let (samples, _) = drive(&mut soft, &events);
         assert_eq!(samples, 100);
     }

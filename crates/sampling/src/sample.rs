@@ -41,10 +41,7 @@ pub struct Sample {
 impl Sample {
     /// Build a sample from an engine event, masking fields the mechanism
     /// cannot capture.
-    pub fn from_event(
-        ev: &MemoryEvent,
-        caps: crate::mechanism::Capabilities,
-    ) -> Self {
+    pub fn from_event(ev: &MemoryEvent, caps: crate::mechanism::Capabilities) -> Self {
         Sample {
             tid: ev.tid,
             cpu: ev.cpu,
@@ -102,7 +99,11 @@ mod tests {
             precise_ip: false,
         };
         let s = Sample::from_event(&ev(), poor);
-        assert_eq!(s.addr, Some(0xabc0), "address is what address sampling is for");
+        assert_eq!(
+            s.addr,
+            Some(0xabc0),
+            "address is what address sampling is for"
+        );
         assert_eq!(s.latency, None);
         assert_eq!(s.level, None);
         assert!(!s.precise_ip);

@@ -1,7 +1,7 @@
 //! Property tests for sampling configurations and rates.
 
 use numa_machine::{AccessLevel, CpuId, DomainId};
-use numa_sampling::{MechanismConfig, MechanismKind, SamplingMechanism};
+use numa_sampling::{MechanismConfig, MechanismKind};
 use numa_sim::MemoryEvent;
 use proptest::prelude::*;
 

@@ -133,8 +133,14 @@ mod tests {
         let main = r.intern("main");
         let f = r.intern("f");
         let stack = [
-            Frame { func: main, kind: FrameKind::Function },
-            Frame { func: f, kind: FrameKind::ParallelRegion },
+            Frame {
+                func: main,
+                kind: FrameKind::Function,
+            },
+            Frame {
+                func: f,
+                kind: FrameKind::ParallelRegion,
+            },
         ];
         assert_eq!(r.render_stack(&stack), "main > f");
     }
@@ -146,7 +152,9 @@ mod tests {
         for _ in 0..8 {
             let r = Arc::clone(&r);
             handles.push(std::thread::spawn(move || {
-                (0..100).map(|i| r.intern(&format!("f{}", i % 10))).collect::<Vec<_>>()
+                (0..100)
+                    .map(|i| r.intern(&format!("f{}", i % 10)))
+                    .collect::<Vec<_>>()
             }));
         }
         let results: Vec<Vec<FuncId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -22,12 +22,19 @@ pub struct SharedL3 {
 
 impl SharedL3 {
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.sets() % SHARDS == 0, "sets must divide into shards");
+        assert!(
+            config.sets().is_multiple_of(SHARDS),
+            "sets must divide into shards"
+        );
         let per_shard_sets = config.sets() / SHARDS;
-        let per_shard =
-            CacheConfig::new((per_shard_sets * config.associativity) as u64 * 64, config.associativity);
+        let per_shard = CacheConfig::new(
+            (per_shard_sets * config.associativity) as u64 * 64,
+            config.associativity,
+        );
         SharedL3 {
-            shards: (0..SHARDS).map(|_| Mutex::new(Cache::new(per_shard))).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Cache::new(per_shard)))
+                .collect(),
             shard_mask: SHARDS as u64 - 1,
         }
     }
@@ -135,7 +142,10 @@ mod tests {
             l3.access(i * 64);
         }
         let present = (0..lines).filter(|&i| l3.probe(i * 64)).count();
-        assert_eq!(present as u64, lines, "a just-filled cache retains its capacity");
+        assert_eq!(
+            present as u64, lines,
+            "a just-filled cache retains its capacity"
+        );
     }
 
     #[test]

@@ -84,7 +84,12 @@ impl Program {
     /// Create a program with `n_threads` software threads spread across the
     /// machine's domains round-robin (the paper's per-core binding), under
     /// `monitor`.
-    pub fn new(machine: Machine, n_threads: usize, mode: ExecMode, monitor: Arc<dyn Monitor>) -> Self {
+    pub fn new(
+        machine: Machine,
+        n_threads: usize,
+        mode: ExecMode,
+        monitor: Arc<dyn Monitor>,
+    ) -> Self {
         let binding = machine.topology().spread_binding(n_threads);
         Self::with_binding(machine, binding, mode, monitor)
     }
@@ -107,7 +112,10 @@ impl Program {
             0,
             "a Machine instance hosts one Program: its page map already              holds regions from a previous run — build a fresh Machine"
         );
-        let l3 = L3Complex::new(machine.topology().domains(), crate::cache::CacheConfig::l3());
+        let l3 = L3Complex::new(
+            machine.topology().domains(),
+            crate::cache::CacheConfig::l3(),
+        );
         let threads: Vec<ThreadState> = binding
             .iter()
             .enumerate()
@@ -386,12 +394,14 @@ mod tests {
     fn threads_spread_across_domains() {
         let p = Program::unmonitored(machine(), 8, ExecMode::Sequential);
         // Round-robin binding on 8 domains: thread i in domain i.
-        let domains: Vec<u8> = (0..8).map(|i| {
-            p.machine()
-                .topology()
-                .domain_of_cpu(p.machine().topology().spread_binding(8)[i])
-                .0
-        }).collect();
+        let domains: Vec<u8> = (0..8)
+            .map(|i| {
+                p.machine()
+                    .topology()
+                    .domain_of_cpu(p.machine().topology().spread_binding(8)[i])
+                    .0
+            })
+            .collect();
         assert_eq!(domains, vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }
 
@@ -467,7 +477,11 @@ mod tests {
         let mut p = Program::new(machine(), 2, ExecMode::Sequential, rec.clone());
         let mut base = 0;
         p.serial("alloc", |ctx| {
-            base = ctx.alloc("arr", 1 << 20, PlacementPolicy::Bind(numa_machine::DomainId(0)));
+            base = ctx.alloc(
+                "arr",
+                1 << 20,
+                PlacementPolicy::Bind(numa_machine::DomainId(0)),
+            );
         });
         p.parallel("read", |tid, ctx| {
             if tid == 1 {

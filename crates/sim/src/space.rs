@@ -39,7 +39,11 @@ impl AddressSpace {
     /// large arrays; smaller allocations are cache-line aligned.
     pub fn allocate(&self, bytes: u64) -> u64 {
         assert!(bytes > 0, "zero-size allocation");
-        let align = if bytes >= PAGE_SIZE { PAGE_SIZE } else { MIN_ALIGN };
+        let align = if bytes >= PAGE_SIZE {
+            PAGE_SIZE
+        } else {
+            MIN_ALIGN
+        };
         // fetch_update keeps the bump atomic under concurrent allocation.
         let mut base = 0;
         self.next
@@ -98,7 +102,9 @@ mod tests {
         for _ in 0..8 {
             let s = Arc::clone(&s);
             handles.push(std::thread::spawn(move || {
-                (0..1000).map(|i| (s.allocate(64 + i % 128), 64 + i % 128)).collect::<Vec<_>>()
+                (0..1000)
+                    .map(|i| (s.allocate(64 + i % 128), 64 + i % 128))
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<(u64, u64)> = handles

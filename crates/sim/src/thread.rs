@@ -154,12 +154,7 @@ impl<'a> ThreadCtx<'a> {
 
     /// Allocate a named heap variable with a placement policy. Returns its
     /// base address.
-    pub fn alloc(
-        &mut self,
-        name: &str,
-        bytes: u64,
-        policy: numa_machine::PlacementPolicy,
-    ) -> u64 {
+    pub fn alloc(&mut self, name: &str, bytes: u64, policy: numa_machine::PlacementPolicy) -> u64 {
         self.alloc_kind(name, bytes, policy, VarKind::Heap)
     }
 
@@ -174,7 +169,10 @@ impl<'a> ThreadCtx<'a> {
         kind: VarKind,
     ) -> u64 {
         let addr = self.env.space.allocate(bytes);
-        self.env.machine.page_map().register_region(addr, bytes, policy.clone());
+        self.env
+            .machine
+            .page_map()
+            .register_region(addr, bytes, policy.clone());
         self.state.clock += ALLOC_BASE_COST;
         self.state.instructions += 8; // allocator bookkeeping instructions
         let info = AllocInfo {
@@ -208,7 +206,10 @@ impl<'a> ThreadCtx<'a> {
         }
         self.state.instructions += n;
         self.state.clock += n;
-        let oh = self.env.monitor.on_compute(self.state.tid, n, &self.state.stack);
+        let oh = self
+            .env
+            .monitor
+            .on_compute(self.state.tid, n, &self.state.stack);
         self.charge_overhead(oh);
     }
 
@@ -281,7 +282,8 @@ impl<'a> ThreadCtx<'a> {
         st.clock += stall;
         if level.is_memory() {
             if st.region_dram_stalls.len() <= home.index() {
-                st.region_dram_stalls.resize(machine.topology().domains(), 0);
+                st.region_dram_stalls
+                    .resize(machine.topology().domains(), 0);
             }
             st.region_dram_stalls[home.index()] += stall;
         }

@@ -1,0 +1,92 @@
+//! Content addressing for profiles.
+//!
+//! A profile's identity is the FNV-1a hash of its canonical JSON
+//! serialization. `NumaProfile::to_json` is byte-deterministic (object
+//! keys follow struct declaration order and floats render canonically),
+//! so two runs that produced identical measurements hash identically no
+//! matter how the bytes arrived — ingesting the same run twice, or the
+//! same profile pretty-printed, dedups to one stored copy.
+
+use numa_profiler::NumaProfile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Mix one more 64-bit value into a running hash (order-sensitive).
+pub fn mix(h: u64, x: u64) -> u64 {
+    let mut h = h ^ x.rotate_left(31);
+    h = h.wrapping_mul(FNV_PRIME);
+    h ^ (h >> 29)
+}
+
+/// Content address of one stored profile.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProfileId(pub u64);
+
+impl ProfileId {
+    /// Hash the canonical serialization of a profile.
+    pub fn of(profile: &NumaProfile) -> (ProfileId, String) {
+        let canonical = profile.to_json();
+        (ProfileId(fnv1a(canonical.as_bytes())), canonical)
+    }
+}
+
+impl fmt::Display for ProfileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for ProfileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProfileId({self})")
+    }
+}
+
+impl FromStr for ProfileId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        u64::from_str_radix(s, 16)
+            .map(ProfileId)
+            .map_err(|_| format!("not a 16-hex-digit profile id: {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_inputs() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+        assert_eq!(fnv1a(b"profile"), fnv1a(b"profile"));
+    }
+
+    #[test]
+    fn mix_is_order_sensitive() {
+        assert_ne!(mix(mix(0, 1), 2), mix(mix(0, 2), 1));
+    }
+
+    #[test]
+    fn id_round_trips_through_hex() {
+        let id = ProfileId(0x0123_4567_89ab_cdef);
+        let parsed: ProfileId = id.to_string().parse().unwrap();
+        assert_eq!(parsed, id);
+        assert!("xyz".parse::<ProfileId>().is_err());
+    }
+}

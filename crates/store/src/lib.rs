@@ -1,0 +1,487 @@
+//! Multi-profile analysis store: the batch layer above the per-run
+//! analyzer.
+//!
+//! The paper's workflow analyzes one measurement at a time
+//! (`hpcrun-sim` → `hpcprof-sim`). Real tuning sessions accumulate
+//! *many* runs — variants, thread counts, machines — and re-derive the
+//! same expensive artifacts (reports, views, diffs) over and over. This
+//! crate adds:
+//!
+//! * **Content-addressed ingestion** ([`ProfileStore::ingest_batch`],
+//!   [`ProfileStore::ingest_dir`]): serialized [`NumaProfile`] JSON is
+//!   parsed in parallel with rayon and stored under the FNV-1a hash of
+//!   its canonical serialization, so duplicate runs dedup to one copy.
+//! * **Cross-run merging** ([`ProfileStore::aggregate`]): pooled
+//!   [`MetricSet`]s, per-variable totals keyed by name (VarIds are not
+//!   stable across runs), and normalized [min,max]-reduced address
+//!   coverage — the §7.2 reduction lifted from threads to runs.
+//! * **Memoized queries** ([`ProfileStore::query`]): derived artifacts
+//!   are cached in a sharded LRU keyed by `(scope hash, query)` with
+//!   hit/miss/insertion/eviction counters ([`ProfileStore::stats`]).
+//!
+//! The CLI front end is `hpcstore-sim` in the `numa-tools` crate.
+
+mod aggregate;
+mod cache;
+mod hash;
+
+pub use aggregate::{aggregate, CrossRunAggregate, VarAggregate};
+pub use cache::{CacheStats, MemoCache};
+pub use hash::{fnv1a, mix, ProfileId};
+
+use numa_analysis::{analyze, diff, full_text_report, render_cct, Analyzer};
+use numa_profiler::{NumaProfile, RangeScope};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Store-level failures. Parse failures during batch ingestion do not
+/// abort the batch — they are collected per input in [`BatchReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Input bytes were not a valid profile.
+    Parse { label: String, message: String },
+    /// A query referenced a profile id the store does not hold.
+    UnknownProfile(ProfileId),
+    /// A set-level query was issued against an empty store.
+    EmptyStore,
+    /// A query referenced a variable the profile never recorded.
+    UnknownVariable(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Parse { label, message } => {
+                write!(f, "cannot parse profile {label:?}: {message}")
+            }
+            StoreError::UnknownProfile(id) => write!(f, "no profile {id} in the store"),
+            StoreError::EmptyStore => write!(f, "the store holds no profiles"),
+            StoreError::UnknownVariable(name) => {
+                write!(f, "variable {name:?} not present in the profile")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One ingested profile: the parsed measurement plus its identity.
+pub struct StoredProfile {
+    pub id: ProfileId,
+    /// Where the profile came from (file name, CLI label, ...). Purely
+    /// informational; identity is `id`.
+    pub label: String,
+    pub profile: NumaProfile,
+    /// Size of the canonical serialization, for footprint accounting.
+    pub json_bytes: usize,
+}
+
+/// Outcome of one batch ingestion.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Ids of newly added profiles, in input order.
+    pub added: Vec<ProfileId>,
+    /// Inputs that hashed to an already-stored profile.
+    pub deduplicated: usize,
+    /// Inputs that failed to parse: (label, error message).
+    pub rejected: Vec<(String, String)>,
+}
+
+/// A derived artifact, memoized by the store.
+#[derive(Debug)]
+pub enum Artifact {
+    Text(String),
+    Aggregate(CrossRunAggregate),
+}
+
+impl Artifact {
+    /// The textual form every artifact can render to.
+    pub fn text(&self) -> String {
+        match self {
+            Artifact::Text(s) => s.clone(),
+            Artifact::Aggregate(a) => a.render(),
+        }
+    }
+
+    pub fn as_aggregate(&self) -> Option<&CrossRunAggregate> {
+        match self {
+            Artifact::Aggregate(a) => Some(a),
+            Artifact::Text(_) => None,
+        }
+    }
+}
+
+/// A memoizable query. Float-free and hashable by construction so it
+/// can key the cache directly.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Data-centric report (JSON) for one profile.
+    ReportJson(ProfileId),
+    /// Full text report for one profile: verdict, hot variables, and
+    /// their address-centric views.
+    TextReport(ProfileId),
+    /// Code-centric view: the merged CCT with NUMA metrics. Subtrees
+    /// below `min_share_permille`/1000 of program cost are elided.
+    CodeView {
+        profile: ProfileId,
+        min_share_permille: u16,
+    },
+    /// Address-centric view (JSON) of one variable, by source name.
+    AddressView { profile: ProfileId, var: String },
+    /// Pairwise diff of two runs, rendered as text.
+    Diff { before: ProfileId, after: ProfileId },
+    /// Cross-run aggregate over the whole stored set.
+    Aggregate,
+    /// Top-n hottest variables across the whole stored set.
+    TopVariables(usize),
+}
+
+impl Query {
+    /// Which profiles the artifact is derived from: single ids for
+    /// targeted queries, the whole set for pooled ones.
+    fn scope(&self, store: &ProfileStore) -> u64 {
+        match self {
+            Query::ReportJson(id)
+            | Query::TextReport(id)
+            | Query::CodeView { profile: id, .. }
+            | Query::AddressView { profile: id, .. } => mix(0, id.0),
+            Query::Diff { before, after } => mix(mix(0, before.0), after.0),
+            Query::Aggregate | Query::TopVariables(_) => store.set_hash(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shelf {
+    profiles: Vec<Arc<StoredProfile>>,
+    by_id: HashMap<ProfileId, usize>,
+    /// Order-insensitive combined hash of the stored ids.
+    set_hash: u64,
+}
+
+/// The store: profiles plus the memo cache over them.
+pub struct ProfileStore {
+    shelf: RwLock<Shelf>,
+    cache: MemoCache<(u64, Query), Artifact>,
+    dedup_hits: AtomicU64,
+    parse_failures: AtomicU64,
+}
+
+impl Default for ProfileStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Default number of memoized artifacts.
+const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+impl ProfileStore {
+    pub fn new() -> Self {
+        Self::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        ProfileStore {
+            shelf: RwLock::new(Shelf::default()),
+            cache: MemoCache::new(capacity),
+            dedup_hits: AtomicU64::new(0),
+            parse_failures: AtomicU64::new(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion
+    // ------------------------------------------------------------------
+
+    /// Ingest an already-parsed profile. Returns its id and whether it
+    /// was new (`false` = content-identical profile already stored).
+    pub fn ingest_profile(&self, label: &str, profile: NumaProfile) -> (ProfileId, bool) {
+        let (id, canonical) = ProfileId::of(&profile);
+        let added = self.insert(Arc::new(StoredProfile {
+            id,
+            label: label.to_string(),
+            profile,
+            json_bytes: canonical.len(),
+        }));
+        (id, added)
+    }
+
+    /// Ingest one serialized profile.
+    pub fn ingest_bytes(&self, label: &str, json: &str) -> Result<(ProfileId, bool), StoreError> {
+        match NumaProfile::from_json(json) {
+            Ok(profile) => Ok(self.ingest_profile(label, profile)),
+            Err(e) => {
+                self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                Err(StoreError::Parse {
+                    label: label.to_string(),
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Ingest a batch of `(label, json)` inputs. Parsing and content
+    /// hashing — the expensive part — run in parallel under rayon (the
+    /// active thread pool; see `ThreadPool::install`); insertion is a
+    /// short sequential tail. Bad inputs are reported, not fatal.
+    pub fn ingest_batch(&self, inputs: &[(String, String)]) -> BatchReport {
+        use rayon::prelude::*;
+        let parsed: Vec<Result<Arc<StoredProfile>, (String, String)>> = inputs
+            .par_iter()
+            .map(|(label, json)| match NumaProfile::from_json(json) {
+                Ok(profile) => {
+                    let (id, canonical) = ProfileId::of(&profile);
+                    Ok(Arc::new(StoredProfile {
+                        id,
+                        label: label.clone(),
+                        profile,
+                        json_bytes: canonical.len(),
+                    }))
+                }
+                Err(e) => Err((label.clone(), e.to_string())),
+            })
+            .collect_vec();
+        let mut report = BatchReport::default();
+        for item in parsed {
+            match item {
+                Ok(sp) => {
+                    let id = sp.id;
+                    if self.insert(sp) {
+                        report.added.push(id);
+                    } else {
+                        report.deduplicated += 1;
+                    }
+                }
+                Err(rej) => {
+                    self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                    report.rejected.push(rej);
+                }
+            }
+        }
+        report
+    }
+
+    /// Ingest every `*.json` file in a directory (sorted by file name,
+    /// so batch reports are deterministic).
+    pub fn ingest_dir(&self, dir: &Path) -> std::io::Result<BatchReport> {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        files.sort();
+        let mut inputs = Vec::with_capacity(files.len());
+        for f in &files {
+            let label = f
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| f.display().to_string());
+            inputs.push((label, std::fs::read_to_string(f)?));
+        }
+        Ok(self.ingest_batch(&inputs))
+    }
+
+    fn insert(&self, sp: Arc<StoredProfile>) -> bool {
+        let mut shelf = self.shelf.write();
+        if shelf.by_id.contains_key(&sp.id) {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let idx = shelf.profiles.len();
+        // XOR fold: the set hash must not depend on insertion order, so
+        // ingesting the same corpus from a directory or a stream yields
+        // the same scope key for pooled queries.
+        shelf.set_hash ^= mix(0x9e37_79b9_7f4a_7c15, sp.id.0);
+        shelf.by_id.insert(sp.id, idx);
+        shelf.profiles.push(sp);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    pub fn len(&self) -> usize {
+        self.shelf.read().profiles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids in insertion order.
+    pub fn ids(&self) -> Vec<ProfileId> {
+        self.shelf.read().profiles.iter().map(|p| p.id).collect()
+    }
+
+    pub fn get(&self, id: ProfileId) -> Option<Arc<StoredProfile>> {
+        let shelf = self.shelf.read();
+        shelf
+            .by_id
+            .get(&id)
+            .map(|&i| Arc::clone(&shelf.profiles[i]))
+    }
+
+    /// Resolve a CLI-style reference: a hex id prefix or a label.
+    pub fn resolve(&self, needle: &str) -> Option<Arc<StoredProfile>> {
+        let shelf = self.shelf.read();
+        shelf
+            .profiles
+            .iter()
+            .find(|p| p.id.to_string().starts_with(needle) || p.label == needle)
+            .map(Arc::clone)
+    }
+
+    /// Order-insensitive content hash of the stored set; pooled cache
+    /// entries are scoped under it, so any ingestion that changes the
+    /// set automatically invalidates them (old entries age out via LRU).
+    pub fn set_hash(&self) -> u64 {
+        self.shelf.read().set_hash
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Answer a query, memoized. The artifact is built at most once per
+    /// `(scope, query)` key and shared via `Arc` thereafter.
+    pub fn query(&self, q: Query) -> Result<Arc<Artifact>, StoreError> {
+        let scope = q.scope(self);
+        self.cache
+            .get_or_try_insert((scope, q.clone()), || self.build(&q))
+    }
+
+    /// Uncached artifact construction. Per-profile analyses clone the
+    /// stored profile into an [`Analyzer`]; that cost (plus the analysis
+    /// itself) is exactly what the memo cache amortizes.
+    fn build(&self, q: &Query) -> Result<Artifact, StoreError> {
+        match q {
+            Query::ReportJson(id) => {
+                let a = self.analyzer(*id)?;
+                Ok(Artifact::Text(analyze(&a).to_json()))
+            }
+            Query::TextReport(id) => {
+                let a = self.analyzer(*id)?;
+                Ok(Artifact::Text(full_text_report(&a)))
+            }
+            Query::CodeView {
+                profile,
+                min_share_permille,
+            } => {
+                let a = self.analyzer(*profile)?;
+                Ok(Artifact::Text(render_cct(
+                    &a,
+                    *min_share_permille as f64 / 1000.0,
+                )))
+            }
+            Query::AddressView { profile, var } => {
+                let a = self.analyzer(*profile)?;
+                let id = a
+                    .profile()
+                    .var_by_name(var)
+                    .map(|rec| rec.id)
+                    .ok_or_else(|| StoreError::UnknownVariable(var.clone()))?;
+                Ok(Artifact::Text(numa_analysis::export_address_view(
+                    &a,
+                    id,
+                    RangeScope::Program,
+                )))
+            }
+            Query::Diff { before, after } => {
+                let b = self.analyzer(*before)?;
+                let a = self.analyzer(*after)?;
+                Ok(Artifact::Text(diff(&b, &a).render()))
+            }
+            Query::Aggregate => {
+                let profiles = self.snapshot()?;
+                Ok(Artifact::Aggregate(aggregate(&profiles)))
+            }
+            Query::TopVariables(n) => {
+                let profiles = self.snapshot()?;
+                Ok(Artifact::Text(aggregate(&profiles).top_variables(*n)))
+            }
+        }
+    }
+
+    /// Cross-run aggregate over the current set (memoized).
+    pub fn aggregate(&self) -> Result<Arc<Artifact>, StoreError> {
+        self.query(Query::Aggregate)
+    }
+
+    fn analyzer(&self, id: ProfileId) -> Result<Analyzer, StoreError> {
+        let sp = self.get(id).ok_or(StoreError::UnknownProfile(id))?;
+        Ok(Analyzer::new(sp.profile.clone()))
+    }
+
+    fn snapshot(&self) -> Result<Vec<Arc<StoredProfile>>, StoreError> {
+        let shelf = self.shelf.read();
+        if shelf.profiles.is_empty() {
+            return Err(StoreError::EmptyStore);
+        }
+        Ok(shelf.profiles.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every memoized artifact (counters persist). Used to measure
+    /// cold-path cost and to bound memory in long sessions.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        let shelf = self.shelf.read();
+        StoreStats {
+            profiles: shelf.profiles.len(),
+            json_bytes: shelf.profiles.iter().map(|p| p.json_bytes).sum(),
+            deduplicated: self.dedup_hits.load(Ordering::Relaxed),
+            parse_failures: self.parse_failures.load(Ordering::Relaxed),
+            cached_artifacts: self.cache.len(),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+/// Snapshot of store accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreStats {
+    pub profiles: usize,
+    /// Total canonical-JSON footprint of the stored set.
+    pub json_bytes: usize,
+    /// Ingest attempts that deduplicated against an existing profile.
+    pub deduplicated: u64,
+    pub parse_failures: u64,
+    pub cached_artifacts: usize,
+    pub cache: CacheStats,
+}
+
+impl StoreStats {
+    pub fn render(&self) -> String {
+        format!(
+            "profiles: {} ({} KiB canonical JSON)\n\
+             ingest: {} deduplicated, {} parse failure(s)\n\
+             cache: {} artifact(s) resident; {} hit(s), {} miss(es), \
+             {} insertion(s), {} eviction(s) ({:.0}% hit rate)\n",
+            self.profiles,
+            self.json_bytes / 1024,
+            self.deduplicated,
+            self.parse_failures,
+            self.cached_artifacts,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.insertions,
+            self.cache.evictions,
+            self.cache.hit_rate() * 100.0
+        )
+    }
+}

@@ -107,7 +107,9 @@ impl Amg2006 {
                 // Block-wise aligned with the thread binding: block t of
                 // each array lands in thread t's domain — the "block-wise
                 // distribution at the first touch place" of §8.2.
-                program.machine().blockwise_for_threads(program.num_threads()),
+                program
+                    .machine()
+                    .blockwise_for_threads(program.num_threads()),
                 PlacementPolicy::interleave_all(domains),
             ),
         }
@@ -327,7 +329,10 @@ mod tests {
         let regions = a.var_regions(var);
         let (top, share) = regions[0];
         assert_eq!(a.profile().func_name(top), "hypre_boomerAMGRelax._omp");
-        assert!(share > 0.5, "relax explains most of the cost, got {share:.2}");
+        assert!(
+            share > 0.5,
+            "relax explains most of the cost, got {share:.2}"
+        );
     }
 
     #[test]
@@ -379,7 +384,10 @@ mod tests {
         );
         let rap = profile.var_by_name("RAP_diag_data").unwrap();
         let hist = m.page_map().binding_histogram(rap.addr).unwrap();
-        assert!(hist.iter().all(|&c| c > 0), "block-wise across all domains: {hist:?}");
+        assert!(
+            hist.iter().all(|&c| c > 0),
+            "block-wise across all domains: {hist:?}"
+        );
         let u = profile.var_by_name("u").unwrap();
         let uh = m.page_map().binding_histogram(u.addr).unwrap();
         let max = *uh.iter().max().unwrap();

@@ -247,8 +247,8 @@ mod tests {
         };
         let base = run(BlackscholesVariant::Baseline);
         let opt = run(BlackscholesVariant::Regrouped);
-        let gain = (base.elapsed_cycles as f64 - opt.elapsed_cycles as f64)
-            / base.elapsed_cycles as f64;
+        let gain =
+            (base.elapsed_cycles as f64 - opt.elapsed_cycles as f64) / base.elapsed_cycles as f64;
         assert!(
             gain.abs() < 0.05,
             "NUMA fix should barely matter here, got {:.2}%",

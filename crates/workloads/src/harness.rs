@@ -15,10 +15,7 @@ pub struct WorkloadOutput {
 
 impl WorkloadOutput {
     pub fn phase(&self, name: &str) -> Option<u64> {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| *c)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, c)| *c)
     }
 }
 

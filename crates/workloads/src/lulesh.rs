@@ -117,8 +117,9 @@ impl Lulesh {
                     // The allocation call path ends in operator new[] with
                     // a distinct line per variable, as in Figure 3.
                     ctx.at_line(line);
-                    let addr =
-                        ctx.call("operator new[]", |ctx| ctx.alloc(name, nbytes, policy.clone()));
+                    let addr = ctx.call("operator new[]", |ctx| {
+                        ctx.alloc(name, nbytes, policy.clone())
+                    });
                     ctx.at_line(0);
                     addr
                 };
@@ -129,7 +130,15 @@ impl Lulesh {
                 let yd = alloc_at(ctx, "yd", 2163);
                 let zd = alloc_at(ctx, "zd", 2164);
                 let nodelist = ctx.alloc_kind("nodelist", ebytes, policy.clone(), nodelist_kind);
-                Arrays { x, y, z, xd, yd, zd, nodelist }
+                Arrays {
+                    x,
+                    y,
+                    z,
+                    xd,
+                    yd,
+                    zd,
+                    nodelist,
+                }
             });
             arrays = Some(a);
         });
@@ -139,18 +148,19 @@ impl Lulesh {
     fn initialize(&self, program: &mut Program, arrays: &Arrays) {
         let nodes = self.nodes();
         let elems = self.elems();
-        let init_thread = |ctx: &mut ThreadCtx<'_>, a: &Arrays, lo_n: u64, hi_n: u64, lo_e: u64, hi_e: u64| {
-            ctx.call("InitMeshDecomp", |ctx| {
-                for arr in [a.x, a.y, a.z, a.xd, a.yd, a.zd] {
-                    ctx.store_range(arr + lo_n * ELEM_SIZE, hi_n - lo_n, ELEM_SIZE as u32);
-                }
-                ctx.store_range(
-                    a.nodelist + lo_e * 8 * IDX_SIZE,
-                    (hi_e - lo_e) * 8,
-                    IDX_SIZE as u32,
-                );
-            });
-        };
+        let init_thread =
+            |ctx: &mut ThreadCtx<'_>, a: &Arrays, lo_n: u64, hi_n: u64, lo_e: u64, hi_e: u64| {
+                ctx.call("InitMeshDecomp", |ctx| {
+                    for arr in [a.x, a.y, a.z, a.xd, a.yd, a.zd] {
+                        ctx.store_range(arr + lo_n * ELEM_SIZE, hi_n - lo_n, ELEM_SIZE as u32);
+                    }
+                    ctx.store_range(
+                        a.nodelist + lo_e * 8 * IDX_SIZE,
+                        (hi_e - lo_e) * 8,
+                        IDX_SIZE as u32,
+                    );
+                });
+            };
         match self.variant {
             LuleshVariant::BlockWise => {
                 // The paper's fix: parallel first touch, one block per
@@ -322,7 +332,11 @@ mod tests {
         let z = profile.var_by_name("z").unwrap();
         let hist = m.page_map().binding_histogram(z.addr).unwrap();
         assert!(hist[0] > 0);
-        assert_eq!(hist[1..].iter().sum::<u64>(), 0, "all pages in domain 0: {hist:?}");
+        assert_eq!(
+            hist[1..].iter().sum::<u64>(),
+            0,
+            "all pages in domain 0: {hist:?}"
+        );
     }
 
     #[test]

@@ -157,8 +157,8 @@ mod tests {
 
     fn classify_pattern(p: SyntheticPattern) -> AccessPattern {
         let app = Synthetic::new(8 << 20, p);
-        let cfg = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 4))
-            .with_bins(64);
+        let cfg =
+            ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 4)).with_bins(64);
         let (_, _, profile) = run_profiled(
             &app,
             Machine::from_preset(MachinePreset::AmdMagnyCours),
@@ -173,13 +173,22 @@ mod tests {
 
     #[test]
     fn each_synthetic_pattern_classifies_as_intended() {
-        assert_eq!(classify_pattern(SyntheticPattern::Blocked), AccessPattern::Blocked);
+        assert_eq!(
+            classify_pattern(SyntheticPattern::Blocked),
+            AccessPattern::Blocked
+        );
         assert_eq!(
             classify_pattern(SyntheticPattern::StaggeredOverlap),
             AccessPattern::StaggeredOverlap
         );
-        assert_eq!(classify_pattern(SyntheticPattern::FullRange), AccessPattern::FullRange);
-        assert_eq!(classify_pattern(SyntheticPattern::Irregular), AccessPattern::Irregular);
+        assert_eq!(
+            classify_pattern(SyntheticPattern::FullRange),
+            AccessPattern::FullRange
+        );
+        assert_eq!(
+            classify_pattern(SyntheticPattern::Irregular),
+            AccessPattern::Irregular
+        );
     }
 
     #[test]

@@ -41,7 +41,13 @@ pub struct Umt2013 {
 const W: u64 = 8;
 
 impl Umt2013 {
-    pub fn new(groups: u64, corners: u64, angles: u64, iterations: usize, variant: UmtVariant) -> Self {
+    pub fn new(
+        groups: u64,
+        corners: u64,
+        angles: u64,
+        iterations: usize,
+        variant: UmtVariant,
+    ) -> Self {
         assert!(groups * corners >= 64, "planes must span multiple lines");
         Umt2013 {
             groups,
@@ -255,7 +261,10 @@ mod tests {
         let stime = profile.var_by_name("STime").unwrap();
         let hist = m.page_map().binding_histogram(stime.addr).unwrap();
         let populated = hist.iter().filter(|&&c| c > 0).count();
-        assert_eq!(populated, 4, "planes spread over all four domains: {hist:?}");
+        assert_eq!(
+            populated, 4,
+            "planes spread over all four domains: {hist:?}"
+        );
     }
 
     #[test]

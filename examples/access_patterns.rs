@@ -23,13 +23,10 @@ const THREADS: usize = 16;
 
 /// One synthetic kernel per pattern: `body(tid, ctx, base)` issues the
 /// accesses.
-fn demo(
-    name: &str,
-    body: impl Fn(usize, &mut ThreadCtx<'_>, u64) + Sync,
-) {
+fn demo(name: &str, body: impl Fn(usize, &mut ThreadCtx<'_>, u64) + Sync) {
     let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
-    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8))
-        .with_bins(64);
+    let config =
+        ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8)).with_bins(64);
     let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, THREADS));
     let mut p = Program::new(machine, THREADS, ExecMode::Sequential, profiler.clone());
     let mut base = 0;

@@ -30,14 +30,19 @@ fn run(label: &str, make_policy: impl Fn(&Machine) -> PlacementPolicy) {
     });
     let stats = p.finish();
     let hist = machine.controllers().lifetime_histogram();
-    println!("{label:<26} {:>12} cycles   DRAM requests/domain: {hist:?}", stats.elapsed_cycles);
+    println!(
+        "{label:<26} {:>12} cycles   DRAM requests/domain: {hist:?}",
+        stats.elapsed_cycles
+    );
 }
 
 fn main() {
     println!("Figure 1's three distributions ({THREADS} threads, 8 NUMA domains):\n");
     run("1: all in domain 0", |_| PlacementPolicy::Bind(DomainId(0)));
     run("2: interleaved", |_| PlacementPolicy::interleave_all(8));
-    run("3: co-located block-wise", |m| m.blockwise_for_threads(THREADS));
+    run("3: co-located block-wise", |m| {
+        m.blockwise_for_threads(THREADS)
+    });
     println!(
         "\nCo-location wins: local latency AND balanced controllers.\n\
          Interleaving only fixes the balance; the single-domain layout has\n\

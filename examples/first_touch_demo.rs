@@ -32,7 +32,12 @@ fn main() {
     let config = ProfilerConfig::new(MechanismConfig::scaled(MechanismKind::Ibs, 64))
         .with_first_touch_granularity(FirstTouchGranularity::Page);
     let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, THREADS));
-    let mut p = Program::new(machine.clone(), THREADS, ExecMode::Sequential, profiler.clone());
+    let mut p = Program::new(
+        machine.clone(),
+        THREADS,
+        ExecMode::Sequential,
+        profiler.clone(),
+    );
 
     let mut a = 0;
     let mut b = 0;
@@ -72,7 +77,10 @@ fn main() {
         // Merge per (thread, call path) — the postmortem merge of §6.
         let mut merged: Vec<(usize, String, String, usize)> = Vec::new();
         for (tid, domain, path) in sites {
-            match merged.iter_mut().find(|(t, _, p, _)| *t == tid && *p == path) {
+            match merged
+                .iter_mut()
+                .find(|(t, _, p, _)| *t == tid && *p == path)
+            {
                 Some(entry) => entry.3 += 1,
                 None => merged.push((tid, domain.to_string(), path, 1)),
             }
@@ -81,11 +89,12 @@ fn main() {
             println!("    thread {tid} ({domain}) at {path} [{pages} pages]");
         }
         // Where did the pages actually land? (`move_pages` ground truth.)
-        let rec = analyzer.profile().var(id);
-        println!(
-            "    pages per domain: {:?}\n",
-            machine.page_map().binding_histogram(rec.addr).unwrap()
-        );
+        if let Some(rec) = analyzer.profile().var(id) {
+            println!(
+                "    pages per domain: {:?}\n",
+                machine.page_map().binding_histogram(rec.addr).unwrap()
+            );
+        }
     }
     println!(
         "Note: 'worker_inited' shows one record per initializing thread — the\n\

@@ -23,10 +23,15 @@ const THREADS: usize = 8;
 
 fn main() {
     let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
-    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8))
-        .with_trace(50_000);
+    let config =
+        ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8)).with_trace(50_000);
     let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, THREADS));
-    let mut p = Program::new(machine.clone(), THREADS, ExecMode::Sequential, profiler.clone());
+    let mut p = Program::new(
+        machine.clone(),
+        THREADS,
+        ExecMode::Sequential,
+        profiler.clone(),
+    );
 
     // Phase 1: the classic bug — master first-touches everything.
     let mut a = 0;
@@ -48,11 +53,7 @@ fn main() {
     // Phase 3: the fixed version — a block-wise re-allocation (as the
     // optimized code would do), workers now local.
     p.serial("main", |ctx| {
-        b = ctx.alloc(
-            "data_fixed",
-            SIZE,
-            machine.blockwise_for_threads(THREADS),
-        );
+        b = ctx.alloc("data_fixed", SIZE, machine.blockwise_for_threads(THREADS));
         let _ = b;
     });
     p.parallel("process_v2._omp", |tid, ctx| {

@@ -7,8 +7,8 @@ use hpctoolkit_numa::profiler::{ProfilerConfig, RangeScope};
 use hpctoolkit_numa::sampling::{MechanismConfig, MechanismKind};
 use hpctoolkit_numa::sim::{ExecMode, FuncId};
 use hpctoolkit_numa::workloads::{
-    run_profiled, run_unmonitored, Amg2006, AmgVariant, Blackscholes, BlackscholesVariant,
-    Lulesh, LuleshVariant, Umt2013, UmtVariant, Workload,
+    run_profiled, run_unmonitored, Amg2006, AmgVariant, Blackscholes, BlackscholesVariant, Lulesh,
+    LuleshVariant, Umt2013, UmtVariant, Workload,
 };
 
 fn amd() -> Machine {
@@ -19,7 +19,12 @@ fn power7() -> Machine {
     Machine::from_preset(MachinePreset::IbmPower7)
 }
 
-fn analyzer_of(w: &dyn Workload, machine: Machine, threads: usize, kind: MechanismKind) -> Analyzer {
+fn analyzer_of(
+    w: &dyn Workload,
+    machine: Machine,
+    threads: usize,
+    kind: MechanismKind,
+) -> Analyzer {
     let cfg = ProfilerConfig::new(MechanismConfig::for_tests(kind, 8)).with_bins(32);
     let (_, _, profile) = run_profiled(w, machine, threads, ExecMode::Sequential, cfg);
     Analyzer::new(profile)
@@ -31,21 +36,34 @@ fn lulesh_tool_guides_blockwise_and_it_wins() {
     // blocked staircase, recommends block-wise distribution, and the fix
     // beats both the baseline and the prior interleave strategy on the
     // solve phase.
-    let a = analyzer_of(&Lulesh::new(20, 3, LuleshVariant::Baseline), amd(), 8, MechanismKind::Ibs);
+    let a = analyzer_of(
+        &Lulesh::new(20, 3, LuleshVariant::Baseline),
+        amd(),
+        8,
+        MechanismKind::Ibs,
+    );
     let report = analyze(&a);
     assert!(report.program.warrants_optimization());
-    let z = report.advice.iter().find(|v| v.name == "z").expect("z is hot");
+    let z = report
+        .advice
+        .iter()
+        .find(|v| v.name == "z")
+        .expect("z is hot");
     assert_eq!(z.recommendation, Recommendation::BlockWise);
 
     let solve = |variant| {
-        let (_, out) = run_unmonitored(&Lulesh::new(20, 3, variant), amd(), 8, ExecMode::Sequential);
+        let (_, out) =
+            run_unmonitored(&Lulesh::new(20, 3, variant), amd(), 8, ExecMode::Sequential);
         out.phase("solve").unwrap()
     };
     let base = solve(LuleshVariant::Baseline);
     let inter = solve(LuleshVariant::Interleaved);
     let block = solve(LuleshVariant::BlockWise);
     assert!(block < base, "block-wise beats baseline: {block} vs {base}");
-    assert!(block < inter, "block-wise beats interleave: {block} vs {inter}");
+    assert!(
+        block < inter,
+        "block-wise beats interleave: {block} vs {inter}"
+    );
 }
 
 #[test]
@@ -105,7 +123,11 @@ fn blackscholes_severity_metric_prevents_wasted_work() {
     let base = price(BlackscholesVariant::Baseline);
     let opt = price(BlackscholesVariant::Regrouped);
     let gain = (base as f64 - opt as f64).abs() / base as f64;
-    assert!(gain < 0.06, "fix changes pricing by {:.1}% only", gain * 100.0);
+    assert!(
+        gain < 0.06,
+        "fix changes pricing by {:.1}% only",
+        gain * 100.0
+    );
 }
 
 #[test]

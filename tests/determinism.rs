@@ -9,7 +9,13 @@ fn machine() -> Machine {
 }
 
 fn run_once(mode: ExecMode) -> ProgramStats {
-    run_unmonitored(&Lulesh::new(12, 2, LuleshVariant::Baseline), machine(), 8, mode).0
+    run_unmonitored(
+        &Lulesh::new(12, 2, LuleshVariant::Baseline),
+        machine(),
+        8,
+        mode,
+    )
+    .0
 }
 
 #[test]

@@ -91,10 +91,7 @@ fn profile_json_roundtrip_preserves_analysis() {
     let a2 = Analyzer::new(back);
     assert_eq!(a1.totals().samples_mem, a2.totals().samples_mem);
     assert_eq!(a1.totals().m_remote, a2.totals().m_remote);
-    assert_eq!(
-        a1.program().remote_fraction,
-        a2.program().remote_fraction
-    );
+    assert_eq!(a1.program().remote_fraction, a2.program().remote_fraction);
 }
 
 #[test]

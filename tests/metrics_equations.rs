@@ -81,7 +81,10 @@ fn event_counter_exceeds_sample_count() {
     let (a, _) = run(ProfilerConfig::new(cfg));
     let events: u64 = a.profile().threads.iter().map(|t| t.numa_events).sum();
     let samples = a.totals().samples_mem;
-    assert!(events > samples * 16, "E_NUMA {events} vs samples {samples}");
+    assert!(
+        events > samples * 16,
+        "E_NUMA {events} vs samples {samples}"
+    );
 }
 
 /// Ground truth cross-check: the true remote DRAM latency per instruction

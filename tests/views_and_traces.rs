@@ -77,7 +77,10 @@ fn rendered_cct_shows_hot_path_with_shares() {
     assert!(text.contains("solve._omp"), "{text}");
     assert!(text.contains("kernel"), "{text}");
     assert!(text.contains("line 1502"), "{text}");
-    assert!(text.contains("100.0%"), "root carries the whole program: {text}");
+    assert!(
+        text.contains("100.0%"),
+        "root carries the whole program: {text}"
+    );
 }
 
 #[test]
@@ -123,5 +126,8 @@ fn traces_roundtrip_through_json() {
     let a = run(default_config().with_trace(10_000));
     let json = a.profile().to_json();
     let back = hpctoolkit_numa::profiler::NumaProfile::from_json(&json).unwrap();
-    assert_eq!(back.threads[1].trace.len(), a.profile().threads[1].trace.len());
+    assert_eq!(
+        back.threads[1].trace.len(),
+        a.profile().threads[1].trace.len()
+    );
 }

@@ -1,0 +1,324 @@
+//! Offline drop-in subset of `rayon`.
+//!
+//! Provides the slice-parallel surface this workspace uses — `par_iter()`
+//! with `map`/`filter_map`/`reduce`/`collect`/`for_each` — implemented as
+//! contiguous chunking over `std::thread::scope`, one thread per chunk.
+//! Chunk results are combined left-to-right, so `reduce` only requires an
+//! associative operation, exactly like real rayon.
+//!
+//! [`ThreadPoolBuilder`] + [`ThreadPool::install`] control the chunk
+//! count via a thread-local override, which is what lets benches measure
+//! 1→N thread scaling.
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    let ov = THREAD_OVERRIDE.with(Cell::get);
+    if ov > 0 {
+        ov
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this stub,
+/// but part of the signature).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A virtual pool: parallel calls made inside [`ThreadPool::install`] use
+/// this pool's thread count.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let out = f();
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iteration over slices
+// ---------------------------------------------------------------------------
+
+/// `.par_iter()` entry point, implemented for slices and `Vec`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+pub struct ParFilterMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// Run `fold` over `nt`-way contiguous chunks of `items` on scoped
+/// threads, then combine the per-chunk accumulators left-to-right.
+fn chunked<'a, T, A, FOLD, COMB>(
+    items: &'a [T],
+    identity: impl Fn() -> A + Sync,
+    fold: FOLD,
+    comb: COMB,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    FOLD: Fn(A, &'a T) -> A + Sync,
+    COMB: Fn(A, A) -> A,
+{
+    let nt = current_num_threads().max(1).min(items.len().max(1));
+    if nt <= 1 {
+        return items.iter().fold(identity(), fold);
+    }
+    let chunk = items.len().div_ceil(nt);
+    let mut partials: Vec<A> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(|| c.iter().fold(identity(), &fold)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stub worker panicked"))
+            .collect()
+    });
+    let mut acc = partials.remove(0);
+    for p in partials {
+        acc = comb(acc, p);
+    }
+    acc
+}
+
+/// The adaptor surface shared by [`ParIter`]-family types.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Consume the iterator, producing every item into a `Vec` in order.
+    fn collect_vec(self) -> Vec<Self::Item>;
+
+    fn reduce(
+        self,
+        identity: impl Fn() -> Self::Item + Sync,
+        op: impl Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    ) -> Self::Item;
+
+    fn collect<C: FromParVec<Self::Item>>(self) -> C {
+        C::from_par_vec(self.collect_vec())
+    }
+
+    fn for_each(self, f: impl Fn(Self::Item) + Sync) {
+        self.collect_vec().into_iter().for_each(f);
+    }
+
+    fn count(self) -> usize {
+        self.collect_vec().len()
+    }
+
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.collect_vec().into_iter().sum()
+    }
+}
+
+/// Target of [`ParallelIterator::collect`].
+pub trait FromParVec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParVec<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T, E> FromParVec<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_vec(v: Vec<Result<T, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl<'a, T: Sync + 'a> ParIter<'a, T> {
+    pub fn map<R: Send, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn filter_map<R: Send, F: Fn(&'a T) -> Option<R> + Sync>(
+        self,
+        f: F,
+    ) -> ParFilterMap<'a, T, F> {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
+where
+    T: Sync + 'a,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn collect_vec(self) -> Vec<R> {
+        let f = &self.f;
+        chunked(
+            self.items,
+            Vec::new,
+            |mut acc: Vec<R>, t| {
+                acc.push(f(t));
+                acc
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
+    }
+
+    fn reduce(self, identity: impl Fn() -> R + Sync, op: impl Fn(R, R) -> R + Sync) -> R {
+        let f = &self.f;
+        chunked(self.items, &identity, |acc: R, t| op(acc, f(t)), &op)
+    }
+}
+
+impl<'a, T, R, F> ParallelIterator for ParFilterMap<'a, T, F>
+where
+    T: Sync + 'a,
+    R: Send,
+    F: Fn(&'a T) -> Option<R> + Sync,
+{
+    type Item = R;
+
+    fn collect_vec(self) -> Vec<R> {
+        let f = &self.f;
+        chunked(
+            self.items,
+            Vec::new,
+            |mut acc: Vec<R>, t| {
+                acc.extend(f(t));
+                acc
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
+    }
+
+    fn reduce(self, identity: impl Fn() -> R + Sync, op: impl Fn(R, R) -> R + Sync) -> R {
+        self.collect_vec().into_iter().fold(identity(), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let total = data.par_iter().map(|&x| x * 2).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, data.iter().map(|&x| x * 2).sum::<u64>());
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let data: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, data.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn filter_map_drops_nones() {
+        let data: Vec<u32> = (0..100).collect();
+        let evens: Vec<u32> = data
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens.len(), 50);
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no network and no vendored registry, so the
+//! workspace provides the small slice of serde it actually uses: a JSON
+//! value model ([`Value`]), [`Serialize`]/[`Deserialize`] traits that
+//! convert to and from that model, and derive macros (re-exported from
+//! `serde_derive`) supporting named structs, tuple structs, and enums with
+//! unit/tuple/struct variants, plus the `#[serde(default)]` and
+//! `#[serde(skip)]` field attributes.
+//!
+//! Representation choices mirror real serde's JSON behaviour so on-disk
+//! profiles look the same: newtype structs serialize as their inner value,
+//! unit enum variants as strings, data-carrying variants as single-key
+//! objects. Objects preserve insertion order (fields serialize in
+//! declaration order), which keeps profile JSON byte-deterministic.
+//!
+//! One documented divergence: non-finite floats serialize as `null` and
+//! `null` deserializes to `f64::NAN`, so round-trips are total.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON number, preserving integer fidelity (addresses are full u64s).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(n) => n as f64,
+            Number::I64(n) => n as f64,
+            Number::F64(n) => n,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) if n >= 0 => Some(n as u64),
+            Number::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::I64(n) => Some(n),
+            Number::F64(n) if n.fract() == 0.0 && n >= i64::MIN as f64 && n <= i64::MAX as f64 => {
+                Some(n as i64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The JSON data model every [`Serialize`]/[`Deserialize`] impl goes
+/// through. Objects are ordered key/value vectors so serialization is
+/// deterministic in field-declaration order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup that never panics (missing keys yield `Null`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the JSON data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild a value from the JSON data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::new(concat!(stringify!($t), " overflow")))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::new(concat!(stringify!($t), " overflow")))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // Non-finite floats serialize as null (see module docs).
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::new("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::new("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::new("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::new("expected array"))?;
+        if arr.len() != N {
+            return Err(Error::new("array length mismatch"));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(arr) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::new("expected tuple array"))?;
+                const LEN: usize = [$($idx),+].len();
+                if arr.len() != LEN {
+                    return Err(Error::new("tuple length mismatch"));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        // String-keyed maps become objects; other key types become sorted
+        // [k, v] pair arrays (real serde_json errors on non-string keys —
+        // this subset keeps maps total and round-trippable instead).
+        // Either way entries are sorted for deterministic output, since
+        // HashMap iteration order is randomized.
+        let mut pairs: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        if pairs.iter().all(|(k, _)| matches!(k, Value::String(_))) {
+            Value::Object(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| match k {
+                        Value::String(s) => (s, v),
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Array(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| Value::Array(vec![k, v]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| {
+                    Ok((
+                        K::from_value(&Value::String(k.clone()))?,
+                        V::from_value(val)?,
+                    ))
+                })
+                .collect(),
+            Value::Array(pairs) => pairs
+                .iter()
+                .map(|pair| {
+                    let kv = pair
+                        .as_array()
+                        .ok_or_else(|| Error::new("expected [k, v] pair"))?;
+                    if kv.len() != 2 {
+                        return Err(Error::new("expected [k, v] pair"));
+                    }
+                    Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                })
+                .collect(),
+            _ => Err(Error::new("expected map")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Ordered-object key lookup used by derive-generated code.
+#[doc(hidden)]
+pub fn __get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_indexing_is_total() {
+        let v = Value::Object(vec![(
+            "advice".to_string(),
+            Value::Array(vec![Value::Object(vec![(
+                "name".to_string(),
+                Value::String("z".to_string()),
+            )])]),
+        )]);
+        assert_eq!(v["advice"][0]["name"], "z");
+        assert!(v["missing"][3]["nope"].is_null());
+    }
+
+    #[test]
+    fn number_fidelity() {
+        assert_eq!(Number::U64(u64::MAX).as_u64(), Some(u64::MAX));
+        assert_eq!(Number::I64(-1).as_u64(), None);
+        assert_eq!(Number::F64(2.5).as_u64(), None);
+    }
+}

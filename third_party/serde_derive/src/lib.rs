@@ -1,0 +1,488 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde subset — no `syn`/`quote`, just a small token-walker.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields, honouring `#[serde(default)]` and
+//!   `#[serde(skip)]` field attributes;
+//! * tuple structs (1-field newtypes serialize transparently, wider ones
+//!   as arrays);
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's JSON default);
+//! * type-level generics limited to lifetimes (e.g. `Foo<'a>`).
+//!
+//! Generated code only calls `::serde::{Serialize, Deserialize, Value,
+//! Error, __get}` and `Default::default()`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("derive(Serialize) generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("derive(Deserialize) generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Full generics (with bounds) for the `impl<...>` position.
+    generics_full: String,
+    /// Parameter names only for the `Type<...>` position.
+    generics_names: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// Skip `#[...]` attributes, returning whether any carried the given
+/// serde helper word (`default` / `skip`).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool, bool) {
+    let mut default = false;
+    let mut skip = false;
+    while i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if matches!(&inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(id) = t {
+                                match id.to_string().as_str() {
+                                    "default" => default = true,
+                                    "skip" => skip = true,
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, default, skip)
+}
+
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Split a token slice on top-level commas (commas inside `<...>` don't
+/// count; bracketed/parenthesized commas are hidden inside groups).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, default, skip) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected ':' after field `{name}`"
+        );
+        i += 1;
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+
+    let mut generics: Vec<TokenTree> = Vec::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        loop {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            generics.push(tokens[i].clone());
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    let generics_full = tokens_to_string(&generics);
+    let generics_names = if generics.is_empty() {
+        String::new()
+    } else {
+        let inner = &generics[1..generics.len() - 1];
+        let names: Vec<String> = split_commas(inner)
+            .into_iter()
+            .map(|param| {
+                let upto_colon: Vec<TokenTree> = param
+                    .into_iter()
+                    .take_while(|t| !matches!(t, TokenTree::Punct(p) if p.as_char() == ':'))
+                    .collect();
+                tokens_to_string(&upto_colon)
+            })
+            .collect();
+        format!("<{}>", names.join(", "))
+    };
+
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::TupleStruct(split_commas(&inner).len())
+            }
+            _ => Body::UnitStruct,
+        }
+    } else if kind == "enum" {
+        let g = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("expected enum body, found {other}"),
+        };
+        let body_tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < body_tokens.len() {
+            let (nj, _, _) = skip_attrs(&body_tokens, j);
+            j = nj;
+            if j >= body_tokens.len() {
+                break;
+            }
+            let vname = match &body_tokens[j] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, found {other}"),
+            };
+            j += 1;
+            let vkind = match body_tokens.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    j += 1;
+                    VariantKind::Tuple(split_commas(&inner).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    j += 1;
+                    VariantKind::Struct(fields)
+                }
+                _ => VariantKind::Unit,
+            };
+            if matches!(&body_tokens.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                j += 1;
+            }
+            variants.push(Variant {
+                name: vname,
+                kind: vkind,
+            });
+        }
+        Body::Enum(variants)
+    } else {
+        panic!("derive only supports structs and enums, found `{kind}`");
+    };
+
+    Item {
+        name,
+        generics_full,
+        generics_names,
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    format!(
+        "impl{} ::serde::{} for {}{} ",
+        item.generics_full, trait_name, item.name, item.generics_names
+    )
+}
+
+fn named_fields_to_object(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut s = String::from("{ let mut __o: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        s.push_str(&format!(
+            "__o.push((String::from(\"{n}\"), ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = accessor(&f.name)
+        ));
+    }
+    s.push_str("::serde::Value::Object(__o) }");
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::NamedStruct(fields) => named_fields_to_object(fields, |n| format!("&self.{n}")),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let ty = &item.name;
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{ty}::{vn} => ::serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{ty}::{vn}(__f0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({binds}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Array(vec![{vals}]))]),\n",
+                            binds = binds.join(", "),
+                            vals = vals.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let obj = named_fields_to_object(fields, |n| n.to_string());
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {obj})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn named_fields_from_object(type_path: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: Default::default(),\n", f.name));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{n}: match ::serde::__get({m}, \"{n}\") {{ Some(__f) => ::serde::Deserialize::from_value(__f)?, None => Default::default() }},\n",
+                n = f.name,
+                m = map_expr
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: match ::serde::__get({m}, \"{n}\") {{ Some(__f) => ::serde::Deserialize::from_value(__f)?, None => return Err(::serde::Error::new(\"missing field `{n}` in `{t}`\")) }},\n",
+                n = f.name,
+                m = map_expr,
+                t = type_path
+            ));
+        }
+    }
+    format!("{type_path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let ctor = named_fields_from_object(name, fields, "__m");
+            format!(
+                "let __m = __v.as_object().ok_or_else(|| ::serde::Error::new(\"expected object for `{name}`\"))?;\nOk({ctor})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let args: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for `{name}`\"))?;\nif __a.len() != {n} {{ return Err(::serde::Error::new(\"length mismatch for `{name}`\")); }}\nOk({name}({args}))",
+                args = args.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("let _ = __v;\nOk({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let args: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __a = __payload.as_array().ok_or_else(|| ::serde::Error::new(\"expected array payload for `{name}::{vn}`\"))?; if __a.len() != {n} {{ return Err(::serde::Error::new(\"length mismatch for `{name}::{vn}`\")); }} return Ok({name}::{vn}({args})); }}\n",
+                            args = args.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor = named_fields_from_object(
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "__m",
+                        );
+                        // A struct-variant path isn't a valid constructor
+                        // expression prefix in all positions, but
+                        // `Enum::Variant { .. }` literals are fine.
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __m = __payload.as_object().ok_or_else(|| ::serde::Error::new(\"expected object payload for `{name}::{vn}`\"))?; return Ok({ctor}); }}\n"
+                        ));
+                    }
+                }
+            }
+            let mut s = String::new();
+            if !unit_arms.is_empty() {
+                s.push_str(&format!(
+                    "if let Some(__s) = __v.as_str() {{ match __s {{ {unit_arms} _ => {{}} }} }}\n"
+                ));
+            }
+            if !data_arms.is_empty() {
+                s.push_str(&format!(
+                    "if let Some(__o) = __v.as_object() {{ if __o.len() == 1 {{ let (__k, __payload) = &__o[0]; match __k.as_str() {{ {data_arms} _ => {{ let _ = __payload; }} }} }} }}\n"
+                ));
+            }
+            s.push_str(&format!(
+                "Err(::serde::Error::new(\"unrecognized variant for `{name}`\"))"
+            ));
+            s
+        }
+    };
+    format!(
+        "{}{{ fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
