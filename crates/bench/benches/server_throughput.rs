@@ -1,0 +1,122 @@
+//! Daemon throughput over loopback: requests/sec and tail latency for
+//! cached vs. uncached aggregate queries, the serving-layer companion
+//! to `store_throughput`.
+//!
+//! One `hpcd` server with a preloaded corpus, one blocking client per
+//! measurement. `aggregate_warm` hits the store's memo cache on every
+//! request (the steady state of a dashboard polling the daemon);
+//! `aggregate_cold` clears the cache first, so each iteration pays the
+//! full cross-run merge plus two round trips.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use numa_machine::{Machine, MachinePreset};
+use numa_profiler::ProfilerConfig;
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_server::{Client, Server, ServerConfig};
+use numa_sim::ExecMode;
+use numa_store::ProfileStore;
+use numa_workloads::{run_profiled, Blackscholes, BlackscholesVariant};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+const CORPUS: usize = 8;
+
+/// Distinct serialized runs (option count varies the content).
+fn corpus() -> Vec<(String, String)> {
+    (0..CORPUS)
+        .map(|i| {
+            let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
+            let w = Blackscholes::new(48 + 8 * i as u64, 3, BlackscholesVariant::Baseline);
+            let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 16));
+            let (_, _, p) = run_profiled(&w, machine, 8, ExecMode::Sequential, config);
+            (format!("run-{i}"), p.to_json())
+        })
+        .collect()
+}
+
+fn start_daemon() -> (
+    SocketAddr,
+    std::thread::JoinHandle<std::io::Result<numa_server::ServerStatsReport>>,
+) {
+    let store = Arc::new(ProfileStore::new());
+    let report = store.ingest_batch(&corpus());
+    assert_eq!(report.added.len(), CORPUS);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+        store,
+    )
+    .expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Measure per-request latencies, return (req/s, p50, p95, p99) in µs.
+fn measure(client: &mut Client, n: usize, mut op: impl FnMut(&mut Client)) -> (f64, u64, u64, u64) {
+    let mut lat_us: Vec<u64> = Vec::with_capacity(n);
+    let start = Instant::now();
+    for _ in 0..n {
+        let t = Instant::now();
+        op(client);
+        lat_us.push(t.elapsed().as_micros() as u64);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    let pct = |p: f64| lat_us[(((p * n as f64).ceil() as usize).clamp(1, n)) - 1];
+    (n as f64 / wall, pct(0.50), pct(0.95), pct(0.99))
+}
+
+fn bench_server(c: &mut Criterion) {
+    let (addr, server) = start_daemon();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut group = c.benchmark_group("server_rpc");
+    group.sample_size(10);
+    group.bench_function("ping", |b| b.iter(|| client.ping().expect("ping")));
+    group.bench_function("aggregate_warm", |b| {
+        client.clear_cache().expect("clear");
+        client.aggregate().expect("prime the cache");
+        b.iter(|| black_box(client.aggregate().expect("aggregate")).len())
+    });
+    group.bench_function("aggregate_cold", |b| {
+        b.iter(|| {
+            client.clear_cache().expect("clear");
+            black_box(client.aggregate().expect("aggregate")).len()
+        })
+    });
+    group.finish();
+
+    // Tail-latency summary over loopback, recorded like
+    // store_throughput's cold/warm headline.
+    client.clear_cache().expect("clear");
+    client.aggregate().expect("prime");
+    let (warm_rps, w50, w95, w99) = measure(&mut client, 400, |c| {
+        c.aggregate().expect("warm aggregate");
+    });
+    let (cold_rps, c50, c95, c99) = measure(&mut client, 40, |c| {
+        c.clear_cache().expect("clear");
+        c.aggregate().expect("cold aggregate");
+    });
+    println!(
+        "server_rpc/summary: warm aggregate {warm_rps:.0} req/s \
+         (p50 {w50} µs, p95 {w95} µs, p99 {w99} µs); \
+         cold aggregate {cold_rps:.0} req/s \
+         (p50 {c50} µs, p95 {c95} µs, p99 {c99} µs) over {CORPUS} profiles"
+    );
+    let stats = client.server_stats().expect("server-stats");
+    println!(
+        "server_rpc/daemon: {} request(s), {} error(s), daemon-side p50 {} µs p99 {} µs",
+        stats.requests_total, stats.errors_total, stats.latency.p50_us, stats.latency.p99_us
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("run ok");
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

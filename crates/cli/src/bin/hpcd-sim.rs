@@ -1,0 +1,101 @@
+//! `hpcd-sim`: the profile-ingestion & query daemon. Holds one
+//! [`ProfileStore`] in memory and serves it over TCP to any number of
+//! `hpcd-client` (or library) connections.
+//!
+//! ```text
+//! hpcd-sim --listen 127.0.0.1:7701                # empty store
+//! hpcd-sim --listen 127.0.0.1:7701 --dir runs/    # preload a corpus
+//! hpcd-sim --listen 127.0.0.1:0                   # ephemeral port (printed)
+//! ```
+//!
+//! The daemon runs until a client sends the `shutdown` op (see
+//! `hpcd-client --cmd shutdown`), then drains in-flight requests and
+//! exits 0, printing a final stats snapshot to stderr.
+
+use numa_server::{Server, ServerConfig};
+use numa_store::ProfileStore;
+use numa_tools::{die, Args};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: hpcd-sim [--listen ADDR]          (default 127.0.0.1:7701; port 0 = ephemeral)
+                [--dir PROFILES_DIR]     (preload every *.json in DIR)
+                [--workers N]            (worker threads; default 4)
+                [--max-pending N]        (accept-queue bound; default 64)
+                [--max-frame-kib N]      (frame payload cap; default 4096)
+                [--read-timeout-ms N]    (per-connection; default 10000)
+                [--write-timeout-ms N]   (per-connection; default 10000)
+                [--cache-capacity N]     (memoized artifacts; default 256)";
+
+fn main() {
+    let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
+    args.check_known(&[
+        "listen",
+        "dir",
+        "workers",
+        "max-pending",
+        "max-frame-kib",
+        "read-timeout-ms",
+        "write-timeout-ms",
+        "cache-capacity",
+    ])
+    .unwrap_or_else(|e| die(USAGE, &e));
+
+    let listen = args.get_or("listen", "127.0.0.1:7701");
+    let cache_capacity: usize = args
+        .get_parsed("cache-capacity", 256)
+        .unwrap_or_else(|e| die(USAGE, &e));
+    let config = ServerConfig {
+        workers: args
+            .get_parsed("workers", 4)
+            .unwrap_or_else(|e| die(USAGE, &e)),
+        max_pending_connections: args
+            .get_parsed("max-pending", 64)
+            .unwrap_or_else(|e| die(USAGE, &e)),
+        max_frame: args
+            .get_parsed::<usize>("max-frame-kib", 4096)
+            .unwrap_or_else(|e| die(USAGE, &e))
+            .saturating_mul(1024),
+        read_timeout: Duration::from_millis(
+            args.get_parsed("read-timeout-ms", 10_000)
+                .unwrap_or_else(|e| die(USAGE, &e)),
+        ),
+        write_timeout: Duration::from_millis(
+            args.get_parsed("write-timeout-ms", 10_000)
+                .unwrap_or_else(|e| die(USAGE, &e)),
+        ),
+        ..ServerConfig::default()
+    };
+
+    let store = Arc::new(ProfileStore::with_cache_capacity(cache_capacity));
+    if let Some(dir) = args.get("dir") {
+        let report = store
+            .ingest_dir(Path::new(dir))
+            .unwrap_or_else(|e| die(USAGE, &format!("cannot read {dir}: {e}")));
+        for (label, err) in &report.rejected {
+            eprintln!("hpcd-sim: skipping {label}: {err}");
+        }
+        eprintln!(
+            "hpcd-sim: preloaded {} profile(s) from {dir} ({} deduplicated, {} rejected)",
+            report.added.len(),
+            report.deduplicated,
+            report.rejected.len()
+        );
+    }
+
+    let server = Server::bind(listen, config, store)
+        .unwrap_or_else(|e| die(USAGE, &format!("cannot bind {listen}: {e}")));
+    // The bound address goes to stdout so scripts can scrape the
+    // ephemeral port from `--listen 127.0.0.1:0`.
+    println!("hpcd-sim: listening on {}", server.local_addr());
+    eprintln!("hpcd-sim: serving (send the shutdown op to stop)");
+
+    match server.run() {
+        Ok(stats) => {
+            eprintln!("hpcd-sim: drained and stopped\n{}", stats.render());
+        }
+        Err(e) => die(USAGE, &format!("serve loop failed: {e}")),
+    }
+}

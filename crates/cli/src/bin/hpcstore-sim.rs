@@ -67,7 +67,13 @@ fn main() {
         "list" => {
             let mut out = String::new();
             for id in store.ids() {
-                let sp = store.get(id).expect("listed id resolves");
+                // The store is shared infrastructure now (hpcd-sim serves
+                // it concurrently), so an id observed by ids() may be gone
+                // by the time we fetch it; skip rather than panic.
+                let Some(sp) = store.get(id) else {
+                    eprintln!("hpcstore-sim: warning: profile {id} disappeared while listing");
+                    continue;
+                };
                 out.push_str(&format!(
                     "{id}  {:<32} {} thread(s), {} KiB\n",
                     sp.label,

@@ -1,0 +1,246 @@
+//! Blocking client for the `hpcd` daemon: one TCP connection, one
+//! request/response exchange per call, typed errors throughout.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, ProfileEntry, RecvError,
+    ReportFormat, Request, Response, ServerStatsReport, WireError, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The byte stream was not valid protocol frames.
+    Transport(RecvError),
+    /// The daemon answered with a typed error.
+    Server(WireError),
+    /// The daemon answered something other than what the call expects
+    /// (a protocol-level surprise, not a server-reported error).
+    Unexpected { expected: &'static str, got: String },
+    /// The daemon closed the connection without answering.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Transport(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected { expected, got } => {
+                write!(f, "unexpected response (wanted {expected}): {got}")
+            }
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Io(e) => ClientError::Io(e),
+            other => ClientError::Transport(other),
+        }
+    }
+}
+
+/// A blocking connection to an `hpcd-sim` daemon. Requests on one
+/// client are serialized (the protocol has no pipelining); use one
+/// client per thread for concurrency.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect with default timeouts (5 s on every socket operation).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Override the local frame cap (must match the daemon's to ingest
+    /// very large profiles).
+    pub fn set_max_frame(&mut self, max: usize) {
+        self.max_frame = max;
+    }
+
+    /// One raw request/response exchange. Server-reported errors come
+    /// back as `Ok(Response::Error(..))`; use [`Client::call`] to have
+    /// them folded into `Err`.
+    pub fn call_raw(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(
+            &mut self.stream,
+            PROTOCOL_VERSION,
+            &encode_request(req),
+            self.max_frame,
+        )?;
+        let frame =
+            read_frame(&mut self.stream, self.max_frame)?.ok_or(ClientError::Disconnected)?;
+        if frame.version != PROTOCOL_VERSION {
+            return Err(ClientError::Server(WireError::UnsupportedVersion {
+                got: frame.version,
+                supported: PROTOCOL_VERSION,
+            }));
+        }
+        decode_response(&frame.payload).map_err(ClientError::Server)
+    }
+
+    /// One exchange with server errors mapped to [`ClientError::Server`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        match self.call_raw(req)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            resp => Ok(resp),
+        }
+    }
+
+    // -- typed convenience wrappers ------------------------------------
+
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Returns `(id, newly_added)`.
+    pub fn ingest(&mut self, label: &str, json: &str) -> Result<(String, bool), ClientError> {
+        let req = Request::Ingest {
+            label: label.to_string(),
+            json: json.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Ingested { id, added } => Ok((id, added)),
+            other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    pub fn list(&mut self) -> Result<Vec<ProfileEntry>, ClientError> {
+        match self.call(&Request::List)? {
+            Response::Profiles(entries) => Ok(entries),
+            other => Err(unexpected("Profiles", &other)),
+        }
+    }
+
+    pub fn resolve(&mut self, reference: &str) -> Result<(String, String), ClientError> {
+        let req = Request::Resolve {
+            reference: reference.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Resolved { id, label } => Ok((id, label)),
+            other => Err(unexpected("Resolved", &other)),
+        }
+    }
+
+    pub fn aggregate(&mut self) -> Result<String, ClientError> {
+        self.text(&Request::Aggregate)
+    }
+
+    pub fn top(&mut self, n: usize) -> Result<String, ClientError> {
+        self.text(&Request::Top { n })
+    }
+
+    pub fn report(&mut self, profile: &str, format: ReportFormat) -> Result<String, ClientError> {
+        self.text(&Request::Report {
+            profile: profile.to_string(),
+            format,
+        })
+    }
+
+    pub fn code_view(
+        &mut self,
+        profile: &str,
+        min_share_permille: u16,
+    ) -> Result<String, ClientError> {
+        self.text(&Request::CodeView {
+            profile: profile.to_string(),
+            min_share_permille,
+        })
+    }
+
+    pub fn address_view(&mut self, profile: &str, var: &str) -> Result<String, ClientError> {
+        self.text(&Request::AddressView {
+            profile: profile.to_string(),
+            var: var.to_string(),
+        })
+    }
+
+    pub fn diff(&mut self, before: &str, after: &str) -> Result<String, ClientError> {
+        self.text(&Request::Diff {
+            before: before.to_string(),
+            after: after.to_string(),
+        })
+    }
+
+    pub fn store_stats(&mut self) -> Result<String, ClientError> {
+        self.text(&Request::StoreStats)
+    }
+
+    pub fn server_stats(&mut self) -> Result<ServerStatsReport, ClientError> {
+        match self.call(&Request::ServerStats)? {
+            Response::ServerStats(s) => Ok(s),
+            other => Err(unexpected("ServerStats", &other)),
+        }
+    }
+
+    pub fn clear_cache(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::ClearCache)? {
+            Response::CacheCleared => Ok(()),
+            other => Err(unexpected("CacheCleared", &other)),
+        }
+    }
+
+    /// Ask the daemon to drain and exit; the daemon closes the
+    /// connection after answering.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    fn text(&mut self, req: &Request) -> Result<String, ClientError> {
+        match self.call(req)? {
+            Response::Text(s) => Ok(s),
+            other => Err(unexpected("Text", &other)),
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, got: &Response) -> ClientError {
+    ClientError::Unexpected {
+        expected,
+        got: format!("{got:?}"),
+    }
+}

@@ -1,0 +1,37 @@
+//! The serving layer over the multi-profile store: a framed wire
+//! protocol, a concurrent TCP daemon, a blocking client, and request
+//! observability.
+//!
+//! The PPoPP'14 workflow up to PR 1 is batch-only: every front end is a
+//! one-shot CLI over an in-process [`numa_store::ProfileStore`]. This
+//! crate turns the store into a *service*, the way NUMAscope pairs a
+//! long-running collection daemon with a live query surface:
+//!
+//! * [`protocol`] — length-prefixed JSON frames with a versioned
+//!   header, a strict frame-size cap, and a typed error taxonomy
+//!   ([`protocol::WireError`]). The codec is push-based
+//!   ([`protocol::FrameDecoder`]) so it survives arbitrary TCP
+//!   fragmentation.
+//! * [`server`] — `hpcd-sim`'s engine: accept loop + bounded
+//!   connection queue + worker-thread pool (the offline build has no
+//!   async runtime; threads and channels are the concurrency model),
+//!   per-connection timeouts, and drain-on-shutdown.
+//! * [`client`] — a blocking [`client::Client`] used by `hpcd-client`
+//!   and the tests/benches; one typed method per daemon op.
+//! * [`metrics`] — per-op request/error counters and a fixed-bucket
+//!   latency histogram, surfaced remotely via the `server-stats` op.
+//!
+//! The CLI front ends (`hpcd-sim`, `hpcd-client`) live in the
+//! `numa-tools` crate next to the other `hpc*-sim` binaries.
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    FrameDecoder, FrameError, ProfileEntry, RecvError, ReportFormat, Request, Response,
+    ServerStatsReport, WireError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,260 @@
+//! Request observability for the daemon: lock-free per-op counters and
+//! a fixed-bucket latency histogram.
+//!
+//! Everything here is `AtomicU64` with relaxed ordering — the counters
+//! are statistics, not synchronization, and the hot path (one request)
+//! touches exactly three atomics: op requests, the histogram bucket,
+//! and optionally op errors.
+
+use crate::protocol::{LatencySummary, OpStat, Request};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every op the daemon serves, densely numbered for counter arrays.
+/// Slot [`OpSlot::COUNT`]`-1` ("unknown") absorbs malformed requests
+/// that never decoded to an op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpSlot(usize);
+
+impl OpSlot {
+    pub const NAMES: [&'static str; 15] = [
+        "ping",
+        "ingest",
+        "list",
+        "resolve",
+        "aggregate",
+        "top",
+        "report",
+        "code-view",
+        "address-view",
+        "diff",
+        "store-stats",
+        "server-stats",
+        "clear-cache",
+        "shutdown",
+        "unknown",
+    ];
+    pub const COUNT: usize = Self::NAMES.len();
+    pub const UNKNOWN: OpSlot = OpSlot(Self::COUNT - 1);
+
+    pub fn of(req: &Request) -> OpSlot {
+        let name = req.op_name();
+        OpSlot(
+            Self::NAMES
+                .iter()
+                .position(|n| *n == name)
+                .unwrap_or(Self::COUNT - 1),
+        )
+    }
+
+    pub fn name(&self) -> &'static str {
+        Self::NAMES[self.0]
+    }
+}
+
+/// Power-of-two latency buckets in microseconds: bucket `i` holds
+/// samples in `[2^i, 2^(i+1))` µs, bucket 0 holds `< 2` µs, the last
+/// bucket is an overflow catch-all (≥ ~67 s never happens in practice).
+const BUCKETS: usize = 27;
+
+/// Fixed-bucket histogram. Percentiles are upper bounds of the bucket
+/// where the cumulative count crosses the rank — at most 2× off, which
+/// is plenty for p50/p95/p99 tail reporting.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, elapsed: std::time::Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of the p-th percentile (0 < p ≤ 1), in µs.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i, capped by the observed max.
+                let bound = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                return bound.min(self.max_us.load(Ordering::Relaxed));
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            p50_us: self.percentile_us(0.50),
+            p95_us: self.percentile_us(0.95),
+            p99_us: self.percentile_us(0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// All daemon counters, shared by workers via `Arc`.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [AtomicU64; OpSlot::COUNT],
+    errors: [AtomicU64; OpSlot::COUNT],
+    pub latency: LatencyHistogram,
+    connections_accepted: AtomicU64,
+    connections_closed: AtomicU64,
+    rejected_oversized: AtomicU64,
+    malformed_frames: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_request(&self, op: OpSlot, elapsed: std::time::Duration, is_error: bool) {
+        self.requests[op.0].fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors[op.0].fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(elapsed);
+    }
+
+    pub fn connection_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn rejected_oversized(&self) {
+        self.rejected_oversized.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn malformed_frame(&self) {
+        self.malformed_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn requests_total(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn errors_total(&self) -> u64 {
+        self.errors.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    pub fn connections_accepted_total(&self) -> u64 {
+        self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    pub fn connections_closed_total(&self) -> u64 {
+        self.connections_closed.load(Ordering::Relaxed)
+    }
+
+    pub fn rejected_oversized_total(&self) -> u64 {
+        self.rejected_oversized.load(Ordering::Relaxed)
+    }
+
+    pub fn malformed_total(&self) -> u64 {
+        self.malformed_frames.load(Ordering::Relaxed)
+    }
+
+    pub fn timeouts_total(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Per-op rows for ops that saw at least one request.
+    pub fn per_op(&self) -> Vec<OpStat> {
+        (0..OpSlot::COUNT)
+            .filter_map(|i| {
+                let requests = self.requests[i].load(Ordering::Relaxed);
+                if requests == 0 {
+                    return None;
+                }
+                Some(OpStat {
+                    op: OpSlot::NAMES[i].to_string(),
+                    requests,
+                    errors: self.errors[i].load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            for _ in 0..20 {
+                h.record(Duration::from_micros(us));
+            }
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile_us(0.50);
+        // The median sample is 100 µs; its bucket's upper bound is 128.
+        assert!((100..=128).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile_us(0.99);
+        assert!(p99 >= 10_000, "p99 = {p99}");
+        assert_eq!(h.summary().max_us, 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.summary();
+        assert_eq!((s.count, s.p50_us, s.p99_us, s.max_us), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn op_slots_cover_every_request() {
+        use crate::protocol::Request;
+        let reqs = [
+            Request::Ping,
+            Request::List,
+            Request::Aggregate,
+            Request::StoreStats,
+            Request::ServerStats,
+            Request::ClearCache,
+            Request::Shutdown,
+        ];
+        for r in &reqs {
+            assert_ne!(OpSlot::of(r), OpSlot::UNKNOWN, "{:?}", r.op_name());
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! The `hpcd` wire protocol: length-prefixed JSON frames with a
+//! versioned header, shared by the daemon and the client.
+//!
+//! ## Frame layout (all integers big-endian)
+//!
+//! ```text
+//! offset 0..4    magic      b"HPCD"
+//! offset 4..6    version    u16 — protocol revision, see [`PROTOCOL_VERSION`]
+//! offset 6..8    reserved   u16 — must be zero (room for future flags)
+//! offset 8..12   length     u32 — payload byte count
+//! offset 12..    payload    `length` bytes of UTF-8 JSON
+//! ```
+//!
+//! A peer validates the header as soon as its 12 bytes arrive, so an
+//! oversized or garbage frame is rejected *before* any payload is
+//! buffered. Truncation (EOF inside a frame) is reported distinctly
+//! from a clean EOF at a frame boundary.
+//!
+//! ## Version rules
+//!
+//! Every frame carries the sender's protocol version. The daemon
+//! accepts exactly [`PROTOCOL_VERSION`]; on mismatch it answers with a
+//! [`WireError::UnsupportedVersion`] response (framed with its *own*
+//! version) and closes the connection. The reserved field must be zero
+//! today so it can become a flags word later without ambiguity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Current protocol revision.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"HPCD";
+
+/// Header size in bytes (magic + version + reserved + length).
+pub const HEADER_LEN: usize = 12;
+
+/// Default cap on payload size: 4 MiB holds any profile the simulator
+/// emits with generous headroom while bounding per-connection memory.
+pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
+
+// ---------------------------------------------------------------------------
+// Framing errors
+// ---------------------------------------------------------------------------
+
+/// Structural frame failures, detected from the header alone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The reserved field was non-zero.
+    NonZeroReserved(u16),
+    /// Declared payload length exceeds the receiver's cap.
+    Oversized { len: usize, max: usize },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?} (expected {MAGIC:?})"),
+            FrameError::NonZeroReserved(r) => {
+                write!(f, "reserved header field must be zero, got {r:#06x}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Failures while pulling a frame off a blocking reader.
+#[derive(Debug)]
+pub enum RecvError {
+    /// Underlying transport error (including read timeouts, surfaced as
+    /// `WouldBlock`/`TimedOut`).
+    Io(io::Error),
+    /// Structurally invalid frame.
+    Frame(FrameError),
+    /// The stream ended in the middle of a frame.
+    TruncatedEof { got: usize },
+}
+
+impl RecvError {
+    /// Whether this is a read timeout rather than a hard failure.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            RecvError::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Io(e) => write!(f, "transport error: {e}"),
+            RecvError::Frame(e) => write!(f, "frame error: {e}"),
+            RecvError::TruncatedEof { got } => {
+                write!(f, "connection closed mid-frame after {got} byte(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl From<io::Error> for RecvError {
+    fn from(e: io::Error) -> Self {
+        RecvError::Io(e)
+    }
+}
+
+impl From<FrameError> for RecvError {
+    fn from(e: FrameError) -> Self {
+        RecvError::Frame(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// One decoded frame: the sender's version plus the raw payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    pub version: u16,
+    pub payload: Vec<u8>,
+}
+
+/// Serialize a frame into a byte vector.
+pub fn encode_frame(version: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Write one frame to a blocking writer. Refuses payloads above `max`
+/// locally so a well-behaved peer never triggers the remote cap.
+pub fn write_frame(
+    w: &mut impl Write,
+    version: u16,
+    payload: &[u8],
+    max: usize,
+) -> Result<(), RecvError> {
+    if payload.len() > max {
+        return Err(RecvError::Frame(FrameError::Oversized {
+            len: payload.len(),
+            max,
+        }));
+    }
+    w.write_all(&encode_frame(version, payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Incremental decoding
+// ---------------------------------------------------------------------------
+
+/// Push-style frame parser: feed bytes as they arrive (in arbitrary
+/// chunks), pull complete frames out. Survives any split of the byte
+/// stream, which is exactly what TCP delivers.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_frame: usize,
+    buf: Vec<u8>,
+    /// Set once a structural error is seen; the stream is unrecoverable
+    /// past that point and every later poll repeats the error.
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder {
+            max_frame,
+            buf: Vec::new(),
+            poisoned: None,
+        }
+    }
+
+    /// Append newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to pull the next complete frame. `Ok(None)` means "need more
+    /// bytes"; a structural error poisons the decoder permanently.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = [self.buf[0], self.buf[1], self.buf[2], self.buf[3]];
+        if magic != MAGIC {
+            return Err(self.poison(FrameError::BadMagic(magic)));
+        }
+        let version = u16::from_be_bytes([self.buf[4], self.buf[5]]);
+        let reserved = u16::from_be_bytes([self.buf[6], self.buf[7]]);
+        if reserved != 0 {
+            return Err(self.poison(FrameError::NonZeroReserved(reserved)));
+        }
+        let len =
+            u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]]) as usize;
+        if len > self.max_frame {
+            return Err(self.poison(FrameError::Oversized {
+                len,
+                max: self.max_frame,
+            }));
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_LEN..HEADER_LEN + len].to_vec();
+        self.buf.drain(..HEADER_LEN + len);
+        Ok(Some(Frame { version, payload }))
+    }
+
+    fn poison(&mut self, e: FrameError) -> FrameError {
+        self.poisoned = Some(e.clone());
+        e
+    }
+}
+
+/// Read exactly one frame from a blocking reader. Returns `Ok(None)` on
+/// a clean EOF at a frame boundary; EOF mid-frame is
+/// [`RecvError::TruncatedEof`].
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Frame>, RecvError> {
+    let mut decoder = FrameDecoder::new(max_frame);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(frame) = decoder.next_frame()? {
+            return Ok(Some(frame));
+        }
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                return if decoder.pending() == 0 {
+                    Ok(None)
+                } else {
+                    Err(RecvError::TruncatedEof {
+                        got: decoder.pending(),
+                    })
+                };
+            }
+            Ok(n) => decoder.push(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Output shape for report queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportFormat {
+    Text,
+    Json,
+}
+
+/// Every operation the daemon serves. Profile references are resolved
+/// server-side exactly like `hpcstore-sim --profile`: an id prefix or a
+/// label.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Ingest one serialized profile under a label.
+    Ingest { label: String, json: String },
+    /// List stored profiles.
+    List,
+    /// Resolve an id prefix or label to a stored profile.
+    Resolve { reference: String },
+    /// Cross-run aggregate over the whole stored set.
+    Aggregate,
+    /// Top-n hottest variables across the stored set.
+    Top { n: usize },
+    /// Per-profile report, text or JSON.
+    Report {
+        profile: String,
+        format: ReportFormat,
+    },
+    /// Code-centric CCT view; subtrees below `min_share_permille`/1000
+    /// of program cost are elided.
+    CodeView {
+        profile: String,
+        min_share_permille: u16,
+    },
+    /// Address-centric view of one variable.
+    AddressView { profile: String, var: String },
+    /// Pairwise diff of two stored runs.
+    Diff { before: String, after: String },
+    /// Store accounting (profile count, dedup, cache counters).
+    StoreStats,
+    /// Daemon observability: per-op counters + latency percentiles.
+    ServerStats,
+    /// Drop every memoized artifact (admin; used to measure cold paths).
+    ClearCache,
+    /// Ask the daemon to drain and exit (admin).
+    Shutdown,
+}
+
+impl Request {
+    /// Stable op name, used for per-op metrics and display.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Ingest { .. } => "ingest",
+            Request::List => "list",
+            Request::Resolve { .. } => "resolve",
+            Request::Aggregate => "aggregate",
+            Request::Top { .. } => "top",
+            Request::Report { .. } => "report",
+            Request::CodeView { .. } => "code-view",
+            Request::AddressView { .. } => "address-view",
+            Request::Diff { .. } => "diff",
+            Request::StoreStats => "store-stats",
+            Request::ServerStats => "server-stats",
+            Request::ClearCache => "clear-cache",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// One row of a `List` response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    /// Hex content id.
+    pub id: String,
+    pub label: String,
+    pub threads: usize,
+    pub json_bytes: usize,
+}
+
+/// Per-op counter row in a `ServerStats` response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpStat {
+    pub op: String,
+    pub requests: u64,
+    pub errors: u64,
+}
+
+/// Latency summary from the daemon's fixed-bucket histogram.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// The `server-stats` payload: request observability plus the store's
+/// cache counters, one round trip.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatsReport {
+    pub uptime_ms: u64,
+    pub connections_accepted: u64,
+    pub connections_closed: u64,
+    pub requests_total: u64,
+    pub errors_total: u64,
+    pub rejected_oversized: u64,
+    pub malformed_frames: u64,
+    pub timeouts: u64,
+    pub per_op: Vec<OpStat>,
+    pub latency: LatencySummary,
+    pub store_profiles: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_insertions: u64,
+    pub cache_evictions: u64,
+}
+
+impl ServerStatsReport {
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "uptime: {:.1} s\n\
+             connections: {} accepted, {} closed\n\
+             requests: {} total, {} error(s)\n\
+             frames: {} oversized rejected, {} malformed, {} timeout(s)\n\
+             latency: p50 {} µs, p95 {} µs, p99 {} µs, max {} µs over {} request(s)\n\
+             store: {} profile(s); cache {} hit(s), {} miss(es), {} insertion(s), {} eviction(s)\n",
+            self.uptime_ms as f64 / 1e3,
+            self.connections_accepted,
+            self.connections_closed,
+            self.requests_total,
+            self.errors_total,
+            self.rejected_oversized,
+            self.malformed_frames,
+            self.timeouts,
+            self.latency.p50_us,
+            self.latency.p95_us,
+            self.latency.p99_us,
+            self.latency.max_us,
+            self.latency.count,
+            self.store_profiles,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_insertions,
+            self.cache_evictions,
+        );
+        for op in &self.per_op {
+            out.push_str(&format!(
+                "  op {:<14} {:>8} request(s) {:>6} error(s)\n",
+                op.op, op.requests, op.errors
+            ));
+        }
+        out
+    }
+}
+
+/// Typed error taxonomy every failure maps into. The connection stays
+/// usable after a request-level error; frame-level errors
+/// ([`WireError::Malformed`], [`WireError::Oversized`],
+/// [`WireError::UnsupportedVersion`]) close it, since the byte stream
+/// can no longer be trusted.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WireError {
+    /// Payload was not valid UTF-8 JSON for a known request.
+    Malformed { detail: String },
+    /// Frame payload exceeded the daemon's cap.
+    Oversized { len: usize, max: usize },
+    /// Client spoke a protocol revision the daemon does not serve.
+    UnsupportedVersion { got: u16, supported: u16 },
+    /// A profile reference matched nothing in the store.
+    UnknownProfile { reference: String },
+    /// The profile never recorded that variable.
+    UnknownVariable { name: String },
+    /// A set-level query hit an empty store.
+    EmptyStore,
+    /// An ingested payload was not a valid profile.
+    ProfileParse { label: String, message: String },
+    /// The daemon failed internally (a bug, not a client error).
+    Internal { detail: String },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Malformed { detail } => write!(f, "malformed request: {detail}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the server cap of {max}")
+            }
+            WireError::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "protocol version {got} unsupported (server speaks {supported})"
+                )
+            }
+            WireError::UnknownProfile { reference } => {
+                write!(f, "{reference:?} matches no stored profile")
+            }
+            WireError::UnknownVariable { name } => {
+                write!(f, "variable {name:?} not present in the profile")
+            }
+            WireError::EmptyStore => write!(f, "the store holds no profiles"),
+            WireError::ProfileParse { label, message } => {
+                write!(f, "cannot parse profile {label:?}: {message}")
+            }
+            WireError::Internal { detail } => write!(f, "internal server error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Every reply the daemon sends.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Pong,
+    Ingested {
+        id: String,
+        added: bool,
+    },
+    Profiles(Vec<ProfileEntry>),
+    Resolved {
+        id: String,
+        label: String,
+    },
+    /// Rendered artifact text (aggregate, top, report, views, diff,
+    /// store-stats).
+    Text(String),
+    ServerStats(ServerStatsReport),
+    CacheCleared,
+    ShuttingDown,
+    Error(WireError),
+}
+
+// ---------------------------------------------------------------------------
+// JSON payload helpers
+// ---------------------------------------------------------------------------
+
+/// Decode a frame payload into a request. Distinguishes "not UTF-8"
+/// from "not a request" in the error detail.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let text = std::str::from_utf8(payload).map_err(|e| WireError::Malformed {
+        detail: format!("payload is not UTF-8: {e}"),
+    })?;
+    serde_json::from_str(text).map_err(|e| WireError::Malformed {
+        detail: e.to_string(),
+    })
+}
+
+/// Encode a request as a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    serde_json::to_string(req)
+        .expect("requests always serialize")
+        .into_bytes()
+}
+
+/// Encode a response as a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    serde_json::to_string(resp)
+        .expect("responses always serialize")
+        .into_bytes()
+}
+
+/// Decode a frame payload into a response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let text = std::str::from_utf8(payload).map_err(|e| WireError::Malformed {
+        detail: format!("payload is not UTF-8: {e}"),
+    })?;
+    serde_json::from_str(text).map_err(|e| WireError::Malformed {
+        detail: e.to_string(),
+    })
+}

@@ -1,0 +1,462 @@
+//! The daemon: a multi-threaded TCP server over a shared
+//! [`ProfileStore`].
+//!
+//! ## Threading model
+//!
+//! One accept loop + a fixed pool of worker threads. Accepted
+//! connections flow through a bounded queue (`std::sync::mpsc::
+//! sync_channel`); when every worker is busy and the queue is full the
+//! accept loop stops pulling connections off the listener, so
+//! backpressure lands in the kernel backlog instead of unbounded
+//! daemon memory. Each worker owns one connection at a time and serves
+//! its requests sequentially (frame in → execute → frame out), so
+//! per-connection ordering is trivial; cross-connection concurrency
+//! comes from the pool, and thread safety from the store's own locks.
+//!
+//! ## Shutdown
+//!
+//! A shared [`AtomicBool`] flag (set by [`ShutdownHandle::shutdown`] or
+//! a client's `Shutdown` request) makes the accept loop stop, closes
+//! the queue, and puts workers into *drain* mode: each worker finishes
+//! the request it is executing, answers any request already in flight
+//! on its connection (bounded by a short drain timeout), then closes.
+//! `run` joins every worker before returning, so when it returns no
+//! request is left unanswered.
+
+use crate::metrics::{Metrics, OpSlot};
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, FrameError, ProfileEntry, RecvError,
+    ReportFormat, Request, Response, ServerStatsReport, WireError, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use numa_store::{ProfileStore, Query, StoreError};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads; also the number of connections served
+    /// concurrently.
+    pub workers: usize,
+    /// Accepted-but-unserved connections the daemon will hold before
+    /// the accept loop applies backpressure.
+    pub max_pending_connections: usize,
+    /// Payload-size cap enforced on every received frame.
+    pub max_frame: usize,
+    /// Per-connection socket read timeout (idle clients are dropped).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// How long a draining worker waits for one last in-flight request
+    /// before closing the connection.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_pending_connections: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Remote trigger for a graceful stop, cloneable across threads.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The bound daemon. [`Server::run`] blocks until shutdown.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    store: Arc<ProfileStore>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+    started: Instant,
+}
+
+impl Server {
+    /// Bind the listener (use port 0 for an ephemeral port) without
+    /// starting to serve.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        store: Arc<ProfileStore>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            store,
+            metrics: Arc::new(Metrics::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+            started: Instant::now(),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Serve until shutdown, then drain and join every worker. Returns
+    /// the final observability snapshot.
+    pub fn run(self) -> io::Result<ServerStatsReport> {
+        // Non-blocking accept so the loop can observe the shutdown flag
+        // promptly; the listener has no other wake-up mechanism without
+        // an async reactor.
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) =
+            std::sync::mpsc::sync_channel::<TcpStream>(self.config.max_pending_connections.max(1));
+        let rx = Arc::new(parking_lot::Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(self.config.workers.max(1));
+        for i in 0..self.config.workers.max(1) {
+            let ctx = WorkerCtx {
+                rx: Arc::clone(&rx),
+                store: Arc::clone(&self.store),
+                metrics: Arc::clone(&self.metrics),
+                shutdown: Arc::clone(&self.shutdown),
+                config: self.config.clone(),
+                started: self.started,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hpcd-worker-{i}"))
+                    .spawn(move || worker_loop(ctx))?,
+            );
+        }
+
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.metrics.connection_accepted();
+                    let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                    let _ = stream.set_nodelay(true);
+                    let mut pending = stream;
+                    // Backpressure: when the queue is full, keep the
+                    // connection and retry instead of accepting more.
+                    loop {
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break; // drop the connection; we are exiting
+                        }
+                        match tx.try_send(pending) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(s)) => {
+                                pending = s;
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Closing the queue lets workers drain what was already
+        // accepted and then exit.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(snapshot_stats(
+            &self.metrics,
+            &self.store,
+            self.started.elapsed(),
+        ))
+    }
+}
+
+struct WorkerCtx {
+    rx: Arc<parking_lot::Mutex<Receiver<TcpStream>>>,
+    store: Arc<ProfileStore>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+    started: Instant,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    loop {
+        // Lock only to receive; serving happens with the queue free so
+        // other workers keep pulling connections.
+        let stream = {
+            let guard = ctx.rx.lock();
+            guard.recv()
+        };
+        match stream {
+            Ok(s) => {
+                serve_connection(&ctx, s);
+                ctx.metrics.connection_closed();
+            }
+            Err(_) => return, // queue closed: shutdown drained
+        }
+    }
+}
+
+/// Serve one connection until EOF, error, timeout, or drain.
+fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
+    loop {
+        let draining = ctx.shutdown.load(Ordering::SeqCst);
+        if draining {
+            // One short grace read: answer a request already on the
+            // wire, but do not wait for new work.
+            let _ = stream.set_read_timeout(Some(ctx.config.drain_timeout));
+        }
+        match read_frame(&mut stream, ctx.config.max_frame) {
+            Ok(None) => return, // clean EOF
+            Ok(Some(frame)) => {
+                if frame.version != PROTOCOL_VERSION {
+                    let resp = Response::Error(WireError::UnsupportedVersion {
+                        got: frame.version,
+                        supported: PROTOCOL_VERSION,
+                    });
+                    let _ = send(&mut stream, &resp, ctx.config.max_frame);
+                    return;
+                }
+                let start = Instant::now();
+                let (op, resp) = match decode_request(&frame.payload) {
+                    Ok(req) => {
+                        let op = OpSlot::of(&req);
+                        (op, execute(ctx, req))
+                    }
+                    Err(e) => {
+                        ctx.metrics.malformed_frame();
+                        (OpSlot::UNKNOWN, Response::Error(e))
+                    }
+                };
+                let is_error = matches!(resp, Response::Error(_));
+                let sent = send(&mut stream, &resp, ctx.config.max_frame);
+                ctx.metrics.record_request(op, start.elapsed(), is_error);
+                if sent.is_err() || matches!(resp, Response::ShuttingDown) {
+                    return;
+                }
+                // Request-level errors keep the connection; stream-level
+                // ones (malformed frame) already poisoned the byte
+                // stream, so close.
+                if op == OpSlot::UNKNOWN || draining {
+                    return;
+                }
+            }
+            Err(RecvError::Frame(FrameError::Oversized { len, max })) => {
+                ctx.metrics.rejected_oversized();
+                let resp = Response::Error(WireError::Oversized { len, max });
+                let _ = send(&mut stream, &resp, ctx.config.max_frame);
+                return;
+            }
+            Err(RecvError::Frame(e)) => {
+                ctx.metrics.malformed_frame();
+                let resp = Response::Error(WireError::Malformed {
+                    detail: e.to_string(),
+                });
+                let _ = send(&mut stream, &resp, ctx.config.max_frame);
+                return;
+            }
+            Err(e) if e.is_timeout() => {
+                if !draining {
+                    ctx.metrics.timeout();
+                }
+                return;
+            }
+            Err(_) => return, // reset / truncated: nothing to answer
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response, max_frame: usize) -> Result<(), RecvError> {
+    write_frame(stream, PROTOCOL_VERSION, &encode_response(resp), max_frame)
+}
+
+/// Execute one request against the store. Panics in analysis code are
+/// converted to a typed `Internal` error so a bad profile can never
+/// take a worker down.
+fn execute(ctx: &WorkerCtx, req: Request) -> Response {
+    let result = catch_unwind(AssertUnwindSafe(|| execute_inner(ctx, &req)));
+    match result {
+        Ok(resp) => resp,
+        Err(panic) => {
+            let detail = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("panic in request handler")
+                .to_string();
+            Response::Error(WireError::Internal { detail })
+        }
+    }
+}
+
+fn execute_inner(ctx: &WorkerCtx, req: &Request) -> Response {
+    let store = &ctx.store;
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Ingest { label, json } => match store.ingest_bytes(label, json) {
+            Ok((id, added)) => Response::Ingested {
+                id: id.to_string(),
+                added,
+            },
+            Err(e) => Response::Error(wire_error(e)),
+        },
+        Request::List => Response::Profiles(
+            store
+                .entries()
+                .into_iter()
+                .map(|e| ProfileEntry {
+                    id: e.id.to_string(),
+                    label: e.label,
+                    threads: e.threads,
+                    json_bytes: e.json_bytes,
+                })
+                .collect(),
+        ),
+        Request::Resolve { reference } => match store.resolve(reference) {
+            Some(sp) => Response::Resolved {
+                id: sp.id.to_string(),
+                label: sp.label.clone(),
+            },
+            None => Response::Error(WireError::UnknownProfile {
+                reference: reference.clone(),
+            }),
+        },
+        Request::Aggregate => text_query(ctx, Query::Aggregate),
+        Request::Top { n } => text_query(ctx, Query::TopVariables(*n)),
+        Request::Report { profile, format } => match resolve_id(ctx, profile) {
+            Err(e) => Response::Error(e),
+            Ok(id) => match format {
+                ReportFormat::Text => text_query(ctx, Query::TextReport(id)),
+                ReportFormat::Json => text_query(ctx, Query::ReportJson(id)),
+            },
+        },
+        Request::CodeView {
+            profile,
+            min_share_permille,
+        } => match resolve_id(ctx, profile) {
+            Err(e) => Response::Error(e),
+            Ok(id) => text_query(
+                ctx,
+                Query::CodeView {
+                    profile: id,
+                    min_share_permille: *min_share_permille,
+                },
+            ),
+        },
+        Request::AddressView { profile, var } => match resolve_id(ctx, profile) {
+            Err(e) => Response::Error(e),
+            Ok(id) => text_query(
+                ctx,
+                Query::AddressView {
+                    profile: id,
+                    var: var.clone(),
+                },
+            ),
+        },
+        Request::Diff { before, after } => {
+            match (resolve_id(ctx, before), resolve_id(ctx, after)) {
+                (Ok(b), Ok(a)) => text_query(
+                    ctx,
+                    Query::Diff {
+                        before: b,
+                        after: a,
+                    },
+                ),
+                (Err(e), _) | (_, Err(e)) => Response::Error(e),
+            }
+        }
+        Request::StoreStats => Response::Text(store.stats().render()),
+        Request::ServerStats => {
+            Response::ServerStats(snapshot_stats(&ctx.metrics, store, ctx.started.elapsed()))
+        }
+        Request::ClearCache => {
+            store.clear_cache();
+            Response::CacheCleared
+        }
+        Request::Shutdown => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn resolve_id(ctx: &WorkerCtx, reference: &str) -> Result<numa_store::ProfileId, WireError> {
+    ctx.store
+        .resolve(reference)
+        .map(|sp| sp.id)
+        .ok_or_else(|| WireError::UnknownProfile {
+            reference: reference.to_string(),
+        })
+}
+
+fn text_query(ctx: &WorkerCtx, q: Query) -> Response {
+    match ctx.store.query(q) {
+        Ok(artifact) => Response::Text(artifact.text()),
+        Err(e) => Response::Error(wire_error(e)),
+    }
+}
+
+fn wire_error(e: StoreError) -> WireError {
+    match e {
+        StoreError::Parse { label, message } => WireError::ProfileParse { label, message },
+        StoreError::UnknownProfile(id) => WireError::UnknownProfile {
+            reference: id.to_string(),
+        },
+        StoreError::EmptyStore => WireError::EmptyStore,
+        StoreError::UnknownVariable(name) => WireError::UnknownVariable { name },
+    }
+}
+
+fn snapshot_stats(metrics: &Metrics, store: &ProfileStore, uptime: Duration) -> ServerStatsReport {
+    let store_stats = store.stats();
+    ServerStatsReport {
+        uptime_ms: uptime.as_millis().min(u64::MAX as u128) as u64,
+        connections_accepted: metrics.connections_accepted_total(),
+        connections_closed: metrics.connections_closed_total(),
+        requests_total: metrics.requests_total(),
+        errors_total: metrics.errors_total(),
+        rejected_oversized: metrics.rejected_oversized_total(),
+        malformed_frames: metrics.malformed_total(),
+        timeouts: metrics.timeouts_total(),
+        per_op: metrics.per_op(),
+        latency: metrics.latency.summary(),
+        store_profiles: store_stats.profiles,
+        cache_hits: store_stats.cache.hits,
+        cache_misses: store_stats.cache.misses,
+        cache_insertions: store_stats.cache.insertions,
+        cache_evictions: store_stats.cache.evictions,
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the wire protocol: arbitrary payloads survive
+//! framing, arbitrary TCP fragmentation reassembles, and every
+//! malformed byte stream yields a typed error — never a panic.
+
+use numa_server::protocol::{
+    decode_request, decode_response, encode_frame, encode_request, encode_response, read_frame,
+    FrameDecoder, FrameError, RecvError, ReportFormat, Request, Response, WireError, HEADER_LEN,
+    PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+/// Arbitrary payload bytes (0–1528 bytes, every byte value reachable).
+fn payload_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u64>(), 0..192)
+        .prop_map(|words| words.iter().flat_map(|w| w.to_le_bytes()).collect())
+}
+
+/// Arbitrary short text built from arbitrary u64s (printable-ish but
+/// including multi-byte UTF-8).
+fn text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u64>(), 0..12).prop_map(|words| {
+        words
+            .iter()
+            .filter_map(|w| char::from_u32((w % 0x2_0000) as u32))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn single_frame_round_trips(payload in payload_strategy(), version in 0u16..64) {
+        let bytes = encode_frame(version, &payload);
+        let mut decoder = FrameDecoder::new(payload.len().max(1));
+        decoder.push(&bytes);
+        let frame = decoder.next_frame().expect("valid frame").expect("complete");
+        prop_assert_eq!(frame.version, version);
+        prop_assert_eq!(frame.payload, payload);
+        // Nothing left over.
+        prop_assert!(decoder.next_frame().expect("empty tail").is_none());
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn chunked_streams_reassemble(
+        payloads in prop::collection::vec(payload_strategy(), 1..5),
+        chunk in 1usize..23,
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(PROTOCOL_VERSION, p));
+        }
+        // Feed the concatenated stream in fixed-size slivers; frame
+        // boundaries land anywhere relative to chunk boundaries.
+        let mut decoder = FrameDecoder::new(1 << 20);
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            decoder.push(piece);
+            while let Some(frame) = decoder.next_frame().expect("valid stream") {
+                got.push(frame.payload);
+            }
+        }
+        prop_assert_eq!(got, payloads);
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_frames_are_typed_errors(extra in 1usize..4096, max in 8usize..256) {
+        let payload = vec![0xabu8; max + extra];
+        let bytes = encode_frame(PROTOCOL_VERSION, &payload);
+        let mut decoder = FrameDecoder::new(max);
+        // Push only the header: the cap must trip before any payload
+        // is buffered.
+        decoder.push(&bytes[..HEADER_LEN]);
+        let err = decoder.next_frame().expect_err("over the cap");
+        prop_assert_eq!(err, FrameError::Oversized { len: max + extra, max });
+        // The decoder stays poisoned: more bytes never un-error it.
+        decoder.push(&bytes[HEADER_LEN..]);
+        prop_assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn truncated_frames_never_complete(payload in payload_strategy(), keep_permille in 0u64..1000) {
+        let bytes = encode_frame(PROTOCOL_VERSION, &payload);
+        let keep = (bytes.len() as u64 * keep_permille / 1000) as usize;
+        if keep < bytes.len() {
+            let mut decoder = FrameDecoder::new(1 << 20);
+            decoder.push(&bytes[..keep]);
+            // An incomplete frame is "need more bytes", not an error and
+            // not a frame.
+            prop_assert!(decoder.next_frame().expect("prefix is valid").is_none());
+            // The blocking reader surfaces the same prefix as a typed
+            // truncation once EOF arrives (or a clean EOF at offset 0).
+            let mut reader = std::io::Cursor::new(bytes[..keep].to_vec());
+            match read_frame(&mut reader, 1 << 20) {
+                Ok(None) => prop_assert_eq!(keep, 0),
+                Err(RecvError::TruncatedEof { got }) => prop_assert_eq!(got, keep),
+                other => prop_assert!(false, "unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_magic_is_rejected(payload in payload_strategy(), first in 0u64..0xffff_ffff) {
+        let mut bytes = encode_frame(PROTOCOL_VERSION, &payload);
+        let magic = (first as u32).to_be_bytes();
+        if magic != *b"HPCD" {
+            bytes[..4].copy_from_slice(&magic);
+            let mut decoder = FrameDecoder::new(1 << 20);
+            decoder.push(&bytes);
+            prop_assert_eq!(
+                decoder.next_frame().expect_err("bad magic"),
+                FrameError::BadMagic(magic)
+            );
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_as_json(label in text_strategy(), body in text_strategy(), n in 0usize..10_000) {
+        let requests = [
+            Request::Ping,
+            Request::Ingest { label: label.clone(), json: body.clone() },
+            Request::List,
+            Request::Resolve { reference: label.clone() },
+            Request::Aggregate,
+            Request::Top { n },
+            Request::Report { profile: label.clone(), format: ReportFormat::Json },
+            Request::CodeView { profile: label.clone(), min_share_permille: (n % 1000) as u16 },
+            Request::AddressView { profile: label.clone(), var: body.clone() },
+            Request::Diff { before: label.clone(), after: body.clone() },
+            Request::StoreStats,
+            Request::ServerStats,
+            Request::ClearCache,
+            Request::Shutdown,
+        ];
+        for req in &requests {
+            let decoded = decode_request(&encode_request(req)).expect("round-trip");
+            prop_assert_eq!(&decoded, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_as_json(text in text_strategy(), added in any::<bool>()) {
+        let responses = [
+            Response::Pong,
+            Response::Ingested { id: text.clone(), added },
+            Response::Text(text.clone()),
+            Response::CacheCleared,
+            Response::ShuttingDown,
+            Response::Error(WireError::UnknownProfile { reference: text.clone() }),
+            Response::Error(WireError::Malformed { detail: text.clone() }),
+            Response::Error(WireError::EmptyStore),
+        ];
+        for resp in &responses {
+            let decoded = decode_response(&encode_response(resp)).expect("round-trip");
+            prop_assert_eq!(&decoded, resp);
+        }
+    }
+}
+
+#[test]
+fn nonzero_reserved_is_rejected() {
+    let mut bytes = encode_frame(PROTOCOL_VERSION, b"x");
+    bytes[6] = 0x12;
+    bytes[7] = 0x34;
+    let mut decoder = FrameDecoder::new(64);
+    decoder.push(&bytes);
+    assert_eq!(
+        decoder.next_frame().unwrap_err(),
+        FrameError::NonZeroReserved(0x1234)
+    );
+}
+
+#[test]
+fn non_utf8_payload_is_a_typed_malformed_error() {
+    let err = decode_request(&[0xff, 0xfe, 0x00]).unwrap_err();
+    assert!(matches!(err, WireError::Malformed { .. }), "{err:?}");
+    let err = decode_request(b"{\"not\": \"a request\"}").unwrap_err();
+    assert!(matches!(err, WireError::Malformed { .. }), "{err:?}");
+}

@@ -80,6 +80,16 @@ pub struct StoredProfile {
     pub json_bytes: usize,
 }
 
+/// One row of [`ProfileStore::entries`]: the listing-relevant facts
+/// about a stored profile, snapshotted atomically.
+#[derive(Clone, Debug)]
+pub struct ProfileListEntry {
+    pub id: ProfileId,
+    pub label: String,
+    pub threads: usize,
+    pub json_bytes: usize,
+}
+
 /// Outcome of one batch ingestion.
 #[derive(Clone, Debug, Default)]
 pub struct BatchReport {
@@ -316,6 +326,23 @@ impl ProfileStore {
     /// Ids in insertion order.
     pub fn ids(&self) -> Vec<ProfileId> {
         self.shelf.read().profiles.iter().map(|p| p.id).collect()
+    }
+
+    /// Listing rows in insertion order, taken under one lock so callers
+    /// (the daemon's `list` op, CLIs) see an atomic snapshot rather
+    /// than racing `ids()` against `get()`.
+    pub fn entries(&self) -> Vec<ProfileListEntry> {
+        self.shelf
+            .read()
+            .profiles
+            .iter()
+            .map(|p| ProfileListEntry {
+                id: p.id,
+                label: p.label.clone(),
+                threads: p.profile.threads.len(),
+                json_bytes: p.json_bytes,
+            })
+            .collect()
     }
 
     pub fn get(&self, id: ProfileId) -> Option<Arc<StoredProfile>> {
