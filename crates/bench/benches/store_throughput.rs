@@ -7,7 +7,7 @@ use numa_machine::{Machine, MachinePreset};
 use numa_profiler::ProfilerConfig;
 use numa_sampling::{MechanismConfig, MechanismKind};
 use numa_sim::ExecMode;
-use numa_store::{ProfileStore, Query};
+use numa_store::{PersistOptions, ProfileStore, Query};
 use numa_workloads::{run_profiled, Blackscholes, BlackscholesVariant};
 use std::time::Instant;
 
@@ -55,6 +55,69 @@ fn bench_ingest(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+/// Cost of durability: the same 32-profile ingest against an in-memory
+/// store, a WAL-backed store (write + flush per ingest — the SIGKILL
+/// durability level `--data-dir` gives by default), and a WAL-backed
+/// store with per-append fsync (power-loss durability), plus the
+/// recovery cost of replaying that WAL on startup.
+fn bench_durable_ingest(c: &mut Criterion) {
+    let inputs = corpus();
+    let scratch = std::env::temp_dir().join(format!("numa-bench-wal-{}", std::process::id()));
+    let mut group = c.benchmark_group("store_ingest_durable");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CORPUS as u64));
+
+    group.bench_function("memory_only", |b| {
+        b.iter(|| {
+            let store = ProfileStore::new();
+            let report = store.ingest_batch(&inputs);
+            assert_eq!(report.added.len(), CORPUS);
+            store.len()
+        })
+    });
+    for (name, fsync) in [("wal", false), ("wal_fsync", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::fs::remove_dir_all(&scratch).ok();
+                let store = ProfileStore::open_durable(
+                    &scratch,
+                    ProfileStore::DEFAULT_CACHE_CAPACITY,
+                    PersistOptions {
+                        fsync,
+                        ..PersistOptions::default()
+                    },
+                )
+                .expect("open durable");
+                let report = store.ingest_batch(&inputs);
+                assert_eq!(report.added.len(), CORPUS);
+                store.len()
+            })
+        });
+    }
+    // Startup recovery: replay the corpus-sized WAL left by the run above.
+    {
+        std::fs::remove_dir_all(&scratch).ok();
+        let store =
+            ProfileStore::open_durable(&scratch, 4, PersistOptions::default()).expect("seed wal");
+        assert_eq!(store.ingest_batch(&inputs).added.len(), CORPUS);
+        drop(store);
+    }
+    group.bench_function("replay_wal", |b| {
+        b.iter(|| {
+            let store = ProfileStore::open_durable(
+                &scratch,
+                ProfileStore::DEFAULT_CACHE_CAPACITY,
+                PersistOptions::default(),
+            )
+            .expect("replay");
+            assert_eq!(store.persist_stats().wal_records_replayed, CORPUS as u64);
+            store.len()
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&scratch).ok();
 }
 
 fn bench_queries(c: &mut Criterion) {
@@ -116,5 +179,5 @@ fn bench_queries(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_ingest, bench_queries);
+criterion_group!(benches, bench_ingest, bench_durable_ingest, bench_queries);
 criterion_main!(benches);

@@ -1,19 +1,24 @@
 //! `hpcd-sim`: the profile-ingestion & query daemon. Holds one
 //! [`ProfileStore`] in memory and serves it over TCP to any number of
-//! `hpcd-client` (or library) connections.
+//! `hpcd-client` (or library) connections. With `--data-dir` the store
+//! is durable: every acknowledged ingest is in a write-ahead log before
+//! the response goes out, the log is periodically compacted into a
+//! snapshot, and a restart (even after SIGKILL) replays the corpus.
 //!
 //! ```text
-//! hpcd-sim --listen 127.0.0.1:7701                # empty store
+//! hpcd-sim --listen 127.0.0.1:7701                # empty in-memory store
 //! hpcd-sim --listen 127.0.0.1:7701 --dir runs/    # preload a corpus
+//! hpcd-sim --listen 127.0.0.1:7701 --data-dir db/ # durable store (WAL + snapshot)
 //! hpcd-sim --listen 127.0.0.1:0                   # ephemeral port (printed)
 //! ```
 //!
 //! The daemon runs until a client sends the `shutdown` op (see
-//! `hpcd-client --cmd shutdown`), then drains in-flight requests and
-//! exits 0, printing a final stats snapshot to stderr.
+//! `hpcd-client --cmd shutdown`), then drains in-flight requests,
+//! flushes the store (final snapshot compaction) and exits 0, printing
+//! a final stats snapshot to stderr.
 
 use numa_server::{Server, ServerConfig};
-use numa_store::ProfileStore;
+use numa_store::{PersistOptions, ProfileStore};
 use numa_tools::{die, Args};
 use std::path::Path;
 use std::sync::Arc;
@@ -22,6 +27,9 @@ use std::time::Duration;
 const USAGE: &str = "\
 usage: hpcd-sim [--listen ADDR]          (default 127.0.0.1:7701; port 0 = ephemeral)
                 [--dir PROFILES_DIR]     (preload every *.json in DIR)
+                [--data-dir DIR]         (durable store: WAL + snapshot crash recovery)
+                [--snapshot-wal-kib N]   (compact once the WAL exceeds N KiB; default 4096)
+                [--fsync-wal on|off]     (fsync every WAL append; default off)
                 [--workers N]            (worker threads; default 4)
                 [--max-pending N]        (accept-queue bound; default 64)
                 [--max-frame-kib N]      (frame payload cap; default 4096)
@@ -34,6 +42,9 @@ fn main() {
     args.check_known(&[
         "listen",
         "dir",
+        "data-dir",
+        "snapshot-wal-kib",
+        "fsync-wal",
         "workers",
         "max-pending",
         "max-frame-kib",
@@ -69,7 +80,35 @@ fn main() {
         ..ServerConfig::default()
     };
 
-    let store = Arc::new(ProfileStore::with_cache_capacity(cache_capacity));
+    let store = match args.get("data-dir") {
+        None => Arc::new(ProfileStore::with_cache_capacity(cache_capacity)),
+        Some(dir) => {
+            let opts = PersistOptions {
+                snapshot_wal_bytes: args
+                    .get_parsed::<u64>("snapshot-wal-kib", 4096)
+                    .unwrap_or_else(|e| die(USAGE, &e))
+                    .saturating_mul(1024),
+                fsync: match args.get_or("fsync-wal", "off") {
+                    "on" => true,
+                    "off" => false,
+                    other => die(USAGE, &format!("--fsync-wal must be on|off, got {other:?}")),
+                },
+            };
+            let store = ProfileStore::open_durable(Path::new(dir), cache_capacity, opts)
+                .unwrap_or_else(|e| die(USAGE, &format!("cannot open data dir {dir}: {e}")));
+            let p = store.persist_stats();
+            eprintln!(
+                "hpcd-sim: recovered {} profile(s) from {dir} \
+                 ({} snapshot + {} wal record(s), {} truncated byte(s), {} stale parse(s))",
+                store.len(),
+                p.snapshot_records_loaded,
+                p.wal_records_replayed,
+                p.wal_truncated_bytes + p.snapshot_truncated_bytes,
+                p.replay_parse_failures,
+            );
+            Arc::new(store)
+        }
+    };
     if let Some(dir) = args.get("dir") {
         let report = store
             .ingest_dir(Path::new(dir))
@@ -77,15 +116,19 @@ fn main() {
         for (label, err) in &report.rejected {
             eprintln!("hpcd-sim: skipping {label}: {err}");
         }
+        for (label, err) in &report.io_errors {
+            eprintln!("hpcd-sim: cannot read {label}: {err}");
+        }
         eprintln!(
-            "hpcd-sim: preloaded {} profile(s) from {dir} ({} deduplicated, {} rejected)",
+            "hpcd-sim: preloaded {} profile(s) from {dir} ({} deduplicated, {} rejected, {} unreadable)",
             report.added.len(),
             report.deduplicated,
-            report.rejected.len()
+            report.rejected.len(),
+            report.io_errors.len()
         );
     }
 
-    let server = Server::bind(listen, config, store)
+    let server = Server::bind(listen, config, Arc::clone(&store))
         .unwrap_or_else(|e| die(USAGE, &format!("cannot bind {listen}: {e}")));
     // The bound address goes to stdout so scripts can scrape the
     // ephemeral port from `--listen 127.0.0.1:0`.
@@ -94,6 +137,11 @@ fn main() {
 
     match server.run() {
         Ok(stats) => {
+            // Final compaction: a clean shutdown leaves a snapshot and
+            // an empty WAL, so the next startup is a pure snapshot load.
+            if let Err(e) = store.flush() {
+                eprintln!("hpcd-sim: final flush failed: {e}");
+            }
             eprintln!("hpcd-sim: drained and stopped\n{}", stats.render());
         }
         Err(e) => die(USAGE, &format!("serve loop failed: {e}")),

@@ -12,13 +12,15 @@
 //! hpcstore-sim --dir runs/ --cmd stats
 //! ```
 
-use numa_store::{ProfileStore, Query, StoredProfile};
+use numa_store::{PersistOptions, ProfileStore, Query, StoredProfile};
 use numa_tools::{die, Args};
 use std::path::Path;
 use std::sync::Arc;
 
 const USAGE: &str = "\
-usage: hpcstore-sim --dir PROFILES_DIR --cmd stats|list|aggregate|top|report|view|diff
+usage: hpcstore-sim [--dir PROFILES_DIR] [--data-dir DIR] --cmd stats|list|aggregate|top|report|view|diff
+                    (at least one of --dir / --data-dir is required)
+                    [--data-dir DIR]       (durable store: replay WAL + snapshot, persist new ingests)
                     [--n N]                (top: how many variables; default 5)
                     [--profile REF]        (report/view: id prefix or file name)
                     [--var NAME]           (view: variable source name)
@@ -29,37 +31,60 @@ usage: hpcstore-sim --dir PROFILES_DIR --cmd stats|list|aggregate|top|report|vie
 fn main() {
     let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
     args.check_known(&[
-        "dir", "cmd", "n", "profile", "var", "before", "after", "format", "out",
+        "dir", "data-dir", "cmd", "n", "profile", "var", "before", "after", "format", "out",
     ])
     .unwrap_or_else(|e| die(USAGE, &e));
 
-    let dir = args
-        .get("dir")
-        .unwrap_or_else(|| die(USAGE, "--dir is required"));
-    let store = ProfileStore::new();
-    let report = store
-        .ingest_dir(Path::new(dir))
-        .unwrap_or_else(|e| die(USAGE, &format!("cannot read {dir}: {e}")));
-    for (label, err) in &report.rejected {
-        eprintln!("hpcstore-sim: skipping {label}: {err}");
+    let store = match args.get("data-dir") {
+        None => ProfileStore::new(),
+        Some(data_dir) => {
+            let store = ProfileStore::open_durable(
+                Path::new(data_dir),
+                ProfileStore::DEFAULT_CACHE_CAPACITY,
+                PersistOptions::default(),
+            )
+            .unwrap_or_else(|e| die(USAGE, &format!("cannot open data dir {data_dir}: {e}")));
+            let p = store.persist_stats();
+            eprintln!(
+                "hpcstore-sim: recovered {} profile(s) from {data_dir} \
+                 ({} snapshot + {} wal record(s), {} truncated byte(s))",
+                store.len(),
+                p.snapshot_records_loaded,
+                p.wal_records_replayed,
+                p.wal_truncated_bytes + p.snapshot_truncated_bytes,
+            );
+            store
+        }
+    };
+    if args.get("dir").is_none() && args.get("data-dir").is_none() {
+        die(USAGE, "at least one of --dir / --data-dir is required");
     }
-    eprintln!(
-        "hpcstore-sim: {} profile(s) ingested from {dir} ({} deduplicated, {} rejected)",
-        report.added.len(),
-        report.deduplicated,
-        report.rejected.len()
-    );
+    if let Some(dir) = args.get("dir") {
+        let report = store
+            .ingest_dir(Path::new(dir))
+            .unwrap_or_else(|e| die(USAGE, &format!("cannot read {dir}: {e}")));
+        for (label, err) in &report.rejected {
+            eprintln!("hpcstore-sim: skipping {label}: {err}");
+        }
+        for (label, err) in &report.io_errors {
+            eprintln!("hpcstore-sim: cannot read {label}: {err}");
+        }
+        eprintln!(
+            "hpcstore-sim: {} profile(s) ingested from {dir} ({} deduplicated, {} rejected, {} unreadable)",
+            report.added.len(),
+            report.deduplicated,
+            report.rejected.len(),
+            report.io_errors.len()
+        );
+    }
 
     let resolve = |key: &str| -> Arc<StoredProfile> {
         let needle = args
             .get(key)
             .unwrap_or_else(|| die(USAGE, &format!("--{key} is required for this command")));
-        store.resolve(needle).unwrap_or_else(|| {
-            die(
-                USAGE,
-                &format!("--{key} {needle:?} matches no stored profile"),
-            )
-        })
+        store
+            .resolve(needle)
+            .unwrap_or_else(|e| die(USAGE, &format!("--{key}: {e}")))
     };
 
     let output = match args.get_or("cmd", "stats") {
@@ -129,6 +154,14 @@ fn main() {
             std::fs::write(path, output).unwrap_or_else(|e| die(USAGE, &e.to_string()));
             eprintln!("hpcstore-sim: wrote {path}");
         }
+    }
+
+    // Durable runs leave a compacted snapshot behind so the next open is
+    // a pure snapshot load with an empty WAL.
+    if store.is_durable() {
+        store
+            .flush()
+            .unwrap_or_else(|e| die(USAGE, &format!("final flush failed: {e}")));
     }
 }
 

@@ -36,6 +36,12 @@ pub struct ThreadProfile {
     /// profiles written before tracing existed.
     #[serde(default)]
     pub trace: Trace,
+    /// Call-stack underflows the engine absorbed on this thread: exits
+    /// that outnumbered enters in a malformed replayed program. Nonzero
+    /// means the code-centric attribution for this thread is suspect.
+    /// Optional on disk for compatibility with older profiles.
+    #[serde(default)]
+    pub stack_underflows: u64,
 }
 
 /// Full profile of one run.
@@ -80,6 +86,12 @@ impl NumaProfile {
     /// Total sampled-instruction count across threads (`I^s`).
     pub fn total_instruction_samples(&self) -> u64 {
         self.threads.iter().map(|t| t.totals.samples_instr).sum()
+    }
+
+    /// Total call-stack underflows absorbed across threads (0 for a
+    /// well-formed program).
+    pub fn total_stack_underflows(&self) -> u64 {
+        self.threads.iter().map(|t| t.stack_underflows).sum()
     }
 
     /// Total absolute instructions across threads (`I`).

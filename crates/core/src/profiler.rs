@@ -34,6 +34,7 @@ struct ThreadLocal {
     totals: MetricSet,
     var_metrics: HashMap<VarId, MetricSet>,
     instructions: u64,
+    stack_underflows: u64,
     trace: Option<Trace>,
 }
 
@@ -64,6 +65,7 @@ impl NumaProfiler {
                     totals: MetricSet::new(domains),
                     var_metrics: HashMap::new(),
                     instructions: 0,
+                    stack_underflows: 0,
                     trace: config.trace_interval.map(Trace::new),
                 })
             })
@@ -145,6 +147,7 @@ impl NumaProfiler {
                     var_metrics,
                     ranges: t.ranges.into_sorted_vec(),
                     trace: t.trace.unwrap_or_default(),
+                    stack_underflows: t.stack_underflows,
                 }
             })
             .collect();
@@ -263,6 +266,10 @@ impl Monitor for NumaProfiler {
         }
 
         out.overhead + attribution_cost
+    }
+
+    fn on_stack_underflow(&self, tid: usize) {
+        self.threads[tid].lock().stack_underflows += 1;
     }
 
     fn on_page_fault(&self, fault: &PageFaultEvent, stack: &[Frame]) -> u64 {

@@ -386,10 +386,30 @@ pub struct ServerStatsReport {
     pub per_op: Vec<OpStat>,
     pub latency: LatencySummary,
     pub store_profiles: usize,
+    /// Hex content hash of the stored set — two daemons (or a daemon
+    /// before and after a crash-restart) holding the same corpus report
+    /// the same value.
+    pub store_set_hash: String,
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_insertions: u64,
     pub cache_evictions: u64,
+    /// Whether the store is backed by a `--data-dir`.
+    pub durable: bool,
+    /// Startup recovery: records loaded from the snapshot.
+    pub snapshot_records_loaded: u64,
+    /// Startup recovery: records replayed from the WAL.
+    pub wal_records_replayed: u64,
+    /// Startup recovery: torn/corrupt tail bytes dropped (WAL +
+    /// snapshot).
+    pub wal_truncated_bytes: u64,
+    /// Records appended to the WAL since startup.
+    pub wal_appends: u64,
+    /// Snapshot compactions since startup.
+    pub snapshots_written: u64,
+    /// Persistence I/O failures since startup (serving continued from
+    /// memory).
+    pub persist_io_errors: u64,
 }
 
 impl ServerStatsReport {
@@ -400,7 +420,7 @@ impl ServerStatsReport {
              requests: {} total, {} error(s)\n\
              frames: {} oversized rejected, {} malformed, {} timeout(s)\n\
              latency: p50 {} µs, p95 {} µs, p99 {} µs, max {} µs over {} request(s)\n\
-             store: {} profile(s); cache {} hit(s), {} miss(es), {} insertion(s), {} eviction(s)\n",
+             store: {} profile(s), set hash {}; cache {} hit(s), {} miss(es), {} insertion(s), {} eviction(s)\n",
             self.uptime_ms as f64 / 1e3,
             self.connections_accepted,
             self.connections_closed,
@@ -415,11 +435,26 @@ impl ServerStatsReport {
             self.latency.max_us,
             self.latency.count,
             self.store_profiles,
+            self.store_set_hash,
             self.cache_hits,
             self.cache_misses,
             self.cache_insertions,
             self.cache_evictions,
         );
+        if self.durable {
+            out.push_str(&format!(
+                "persistence: recovered {} snapshot + {} wal record(s), {} truncated byte(s); \
+                 {} append(s), {} snapshot(s) written, {} io error(s)\n",
+                self.snapshot_records_loaded,
+                self.wal_records_replayed,
+                self.wal_truncated_bytes,
+                self.wal_appends,
+                self.snapshots_written,
+                self.persist_io_errors,
+            ));
+        } else {
+            out.push_str("persistence: off (in-memory store)\n");
+        }
         for op in &self.per_op {
             out.push_str(&format!(
                 "  op {:<14} {:>8} request(s) {:>6} error(s)\n",
@@ -445,6 +480,13 @@ pub enum WireError {
     UnsupportedVersion { got: u16, supported: u16 },
     /// A profile reference matched nothing in the store.
     UnknownProfile { reference: String },
+    /// A profile reference matched more than one stored profile.
+    /// Candidates are rendered `"{id}  {label}"` rows so a client can
+    /// show the user what to disambiguate between.
+    AmbiguousReference {
+        reference: String,
+        candidates: Vec<String>,
+    },
     /// The profile never recorded that variable.
     UnknownVariable { name: String },
     /// A set-level query hit an empty store.
@@ -470,6 +512,23 @@ impl fmt::Display for WireError {
             }
             WireError::UnknownProfile { reference } => {
                 write!(f, "{reference:?} matches no stored profile")
+            }
+            WireError::AmbiguousReference {
+                reference,
+                candidates,
+            } => {
+                write!(
+                    f,
+                    "{reference:?} is ambiguous: {} profiles match",
+                    candidates.len()
+                )?;
+                for row in candidates.iter().take(8) {
+                    write!(f, "\n  {row}")?;
+                }
+                if candidates.len() > 8 {
+                    write!(f, "\n  ... and {} more", candidates.len() - 8)?;
+                }
+                Ok(())
             }
             WireError::UnknownVariable { name } => {
                 write!(f, "variable {name:?} not present in the profile")

@@ -346,13 +346,11 @@ fn execute_inner(ctx: &WorkerCtx, req: &Request) -> Response {
                 .collect(),
         ),
         Request::Resolve { reference } => match store.resolve(reference) {
-            Some(sp) => Response::Resolved {
+            Ok(sp) => Response::Resolved {
                 id: sp.id.to_string(),
                 label: sp.label.clone(),
             },
-            None => Response::Error(WireError::UnknownProfile {
-                reference: reference.clone(),
-            }),
+            Err(e) => Response::Error(wire_error(e)),
         },
         Request::Aggregate => text_query(ctx, Query::Aggregate),
         Request::Top { n } => text_query(ctx, Query::TopVariables(*n)),
@@ -417,9 +415,7 @@ fn resolve_id(ctx: &WorkerCtx, reference: &str) -> Result<numa_store::ProfileId,
     ctx.store
         .resolve(reference)
         .map(|sp| sp.id)
-        .ok_or_else(|| WireError::UnknownProfile {
-            reference: reference.to_string(),
-        })
+        .map_err(wire_error)
 }
 
 fn text_query(ctx: &WorkerCtx, q: Query) -> Response {
@@ -435,6 +431,14 @@ fn wire_error(e: StoreError) -> WireError {
         StoreError::UnknownProfile(id) => WireError::UnknownProfile {
             reference: id.to_string(),
         },
+        StoreError::NoMatch(reference) => WireError::UnknownProfile { reference },
+        StoreError::Ambiguous { needle, candidates } => WireError::AmbiguousReference {
+            reference: needle,
+            candidates: candidates
+                .into_iter()
+                .map(|(id, label)| format!("{id}  {label}"))
+                .collect(),
+        },
         StoreError::EmptyStore => WireError::EmptyStore,
         StoreError::UnknownVariable(name) => WireError::UnknownVariable { name },
     }
@@ -442,6 +446,7 @@ fn wire_error(e: StoreError) -> WireError {
 
 fn snapshot_stats(metrics: &Metrics, store: &ProfileStore, uptime: Duration) -> ServerStatsReport {
     let store_stats = store.stats();
+    let persist = store_stats.persist;
     ServerStatsReport {
         uptime_ms: uptime.as_millis().min(u64::MAX as u128) as u64,
         connections_accepted: metrics.connections_accepted_total(),
@@ -454,9 +459,17 @@ fn snapshot_stats(metrics: &Metrics, store: &ProfileStore, uptime: Duration) -> 
         per_op: metrics.per_op(),
         latency: metrics.latency.summary(),
         store_profiles: store_stats.profiles,
+        store_set_hash: format!("{:016x}", store_stats.set_hash),
         cache_hits: store_stats.cache.hits,
         cache_misses: store_stats.cache.misses,
         cache_insertions: store_stats.cache.insertions,
         cache_evictions: store_stats.cache.evictions,
+        durable: persist.durable,
+        snapshot_records_loaded: persist.snapshot_records_loaded,
+        wal_records_replayed: persist.wal_records_replayed,
+        wal_truncated_bytes: persist.wal_truncated_bytes + persist.snapshot_truncated_bytes,
+        wal_appends: persist.wal_appends,
+        snapshots_written: persist.snapshots_written,
+        persist_io_errors: persist.io_errors,
     }
 }

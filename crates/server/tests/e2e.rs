@@ -288,8 +288,28 @@ fn request_level_errors_keep_the_connection_usable() {
         .expect("aggregate")
         .contains("cross-run aggregate: 1 run(s)"));
 
+    // A label shared by two distinct profiles: resolving it is a typed
+    // ambiguity listing both candidates, and a full id still works.
+    let (id_a, _) = c.ingest("dup", &profile(2).to_json()).expect("ingest dup");
+    let (id_b, _) = c.ingest("dup", &profile(3).to_json()).expect("ingest dup");
+    match c.resolve("dup") {
+        Err(ClientError::Server(WireError::AmbiguousReference {
+            reference,
+            candidates,
+        })) => {
+            assert_eq!(reference, "dup");
+            assert_eq!(candidates.len(), 2);
+            assert!(candidates.iter().any(|cand| cand.contains(&id_a)));
+            assert!(candidates.iter().any(|cand| cand.contains(&id_b)));
+        }
+        other => panic!("expected AmbiguousReference, got {other:?}"),
+    }
+    let (resolved, label) = c.resolve(&id_a).expect("resolve by full id");
+    assert_eq!(resolved, id_a);
+    assert_eq!(label, "dup");
+
     let stats = c.server_stats().expect("stats");
-    assert!(stats.errors_total >= 3, "{stats:?}");
+    assert!(stats.errors_total >= 4, "{stats:?}");
 
     c.shutdown().expect("shutdown");
     server.join().expect("join").expect("run ok");

@@ -147,6 +147,10 @@ proptest! {
             Response::CacheCleared,
             Response::ShuttingDown,
             Response::Error(WireError::UnknownProfile { reference: text.clone() }),
+            Response::Error(WireError::AmbiguousReference {
+                reference: text.clone(),
+                candidates: vec![text.clone(), text.clone()],
+            }),
             Response::Error(WireError::Malformed { detail: text.clone() }),
             Response::Error(WireError::EmptyStore),
         ];

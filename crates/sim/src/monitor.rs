@@ -57,6 +57,13 @@ pub trait Monitor: Send + Sync {
         0
     }
 
+    /// `exit_frame` was called on an empty call stack (a malformed
+    /// replayed program). The engine already counted and absorbed the
+    /// underflow; this hook lets a profiler surface it on the profile.
+    fn on_stack_underflow(&self, tid: usize) {
+        let _ = tid;
+    }
+
     /// A virtual thread finished with its final clock value.
     fn on_thread_end(&self, tid: usize, clock: u64) {
         let _ = (tid, clock);

@@ -425,6 +425,31 @@ mod tests {
     }
 
     #[test]
+    fn stack_underflow_is_a_counted_no_op() {
+        struct Recorder(Mutex<Vec<usize>>);
+        impl Monitor for Recorder {
+            fn on_stack_underflow(&self, tid: usize) {
+                self.0.lock().push(tid);
+            }
+        }
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let mut p = Program::new(machine(), 1, ExecMode::Sequential, rec.clone());
+        p.serial("main", |ctx| {
+            // A malformed replayed program: exits outnumber enters. The
+            // first pop closes "main"; the next two underflow; the
+            // region's own closing pop underflows a third time.
+            ctx.exit_frame();
+            ctx.exit_frame();
+            ctx.exit_frame();
+            assert_eq!(ctx.stack_underflows(), 2);
+            assert!(ctx.stack().is_empty());
+            // The context still works after the underflows.
+            ctx.compute(5);
+        });
+        assert_eq!(rec.0.lock().as_slice(), &[0, 0, 0]);
+    }
+
+    #[test]
     fn first_touch_allocation_and_access() {
         let mut p = Program::unmonitored(machine(), 2, ExecMode::Sequential);
         let mut base = 0;

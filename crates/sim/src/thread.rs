@@ -36,6 +36,9 @@ pub struct ThreadState {
     pub(crate) l1: Cache,
     pub(crate) l2: Cache,
     pub(crate) stack: Vec<Frame>,
+    /// `exit_frame` calls that found an empty stack (a malformed
+    /// replayed program); each is a counted no-op, never a panic.
+    pub(crate) stack_underflows: u64,
     pub(crate) line: u32,
     /// DRAM stall cycles accumulated in the current region, per target
     /// domain — the basis for the fork-join contention charge applied at
@@ -56,6 +59,7 @@ impl ThreadState {
             l1: Cache::new(crate::cache::CacheConfig::l1d()),
             l2: Cache::new(crate::cache::CacheConfig::l2()),
             stack: Vec::with_capacity(32),
+            stack_underflows: 0,
             line: 0,
             region_dram_stalls: Vec::new(),
         }
@@ -127,12 +131,22 @@ impl<'a> ThreadCtx<'a> {
         self.state.stack.push(Frame { func, kind });
     }
 
-    /// Pop the innermost frame.
+    /// Pop the innermost frame. Popping an empty stack — a malformed
+    /// replayed program whose exits outnumber its enters — degrades to a
+    /// counted no-op instead of panicking, so one bad input cannot take
+    /// down a simulation serving other work. The count is reported to
+    /// the monitor (and surfaces on the profile) via
+    /// [`Monitor::on_stack_underflow`](crate::Monitor::on_stack_underflow).
     pub fn exit_frame(&mut self) {
-        self.state
-            .stack
-            .pop()
-            .expect("exit_frame with empty call stack");
+        if self.state.stack.pop().is_none() {
+            self.state.stack_underflows += 1;
+            self.env.monitor.on_stack_underflow(self.state.tid);
+        }
+    }
+
+    /// How many times `exit_frame` hit an empty stack on this thread.
+    pub fn stack_underflows(&self) -> u64 {
+        self.state.stack_underflows
     }
 
     /// Set the source-line marker attached to subsequent accesses.

@@ -24,6 +24,8 @@
 mod aggregate;
 mod cache;
 mod hash;
+pub mod snapshot;
+pub mod wal;
 
 pub use aggregate::{aggregate, CrossRunAggregate, VarAggregate};
 pub use cache::{CacheStats, MemoCache};
@@ -31,10 +33,11 @@ pub use hash::{fnv1a, mix, ProfileId};
 
 use numa_analysis::{analyze, diff, full_text_report, render_cct, Analyzer};
 use numa_profiler::{NumaProfile, RangeScope};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::path::Path;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -46,6 +49,14 @@ pub enum StoreError {
     Parse { label: String, message: String },
     /// A query referenced a profile id the store does not hold.
     UnknownProfile(ProfileId),
+    /// A reference (id prefix or label) matched nothing.
+    NoMatch(String),
+    /// A reference matched more than one stored profile. Candidates are
+    /// `(id, label)` pairs so callers can disambiguate.
+    Ambiguous {
+        needle: String,
+        candidates: Vec<(ProfileId, String)>,
+    },
     /// A set-level query was issued against an empty store.
     EmptyStore,
     /// A query referenced a variable the profile never recorded.
@@ -59,6 +70,21 @@ impl fmt::Display for StoreError {
                 write!(f, "cannot parse profile {label:?}: {message}")
             }
             StoreError::UnknownProfile(id) => write!(f, "no profile {id} in the store"),
+            StoreError::NoMatch(needle) => write!(f, "{needle:?} matches no stored profile"),
+            StoreError::Ambiguous { needle, candidates } => {
+                write!(
+                    f,
+                    "{needle:?} is ambiguous: {} profiles match",
+                    candidates.len()
+                )?;
+                for (id, label) in candidates.iter().take(8) {
+                    write!(f, "\n  {id}  {label}")?;
+                }
+                if candidates.len() > 8 {
+                    write!(f, "\n  ... and {} more", candidates.len() - 8)?;
+                }
+                Ok(())
+            }
             StoreError::EmptyStore => write!(f, "the store holds no profiles"),
             StoreError::UnknownVariable(name) => {
                 write!(f, "variable {name:?} not present in the profile")
@@ -99,6 +125,20 @@ pub struct BatchReport {
     pub deduplicated: usize,
     /// Inputs that failed to parse: (label, error message).
     pub rejected: Vec<(String, String)>,
+    /// Inputs that could not be read at all: (label, I/O error). Only
+    /// populated by file-based ingestion ([`ProfileStore::ingest_dir`]);
+    /// an unreadable file skips that file, never the batch.
+    pub io_errors: Vec<(String, String)>,
+}
+
+impl BatchReport {
+    /// Fold another report (e.g. one directory chunk) into this one.
+    pub fn merge(&mut self, other: BatchReport) {
+        self.added.extend(other.added);
+        self.deduplicated += other.deduplicated;
+        self.rejected.extend(other.rejected);
+        self.io_errors.extend(other.io_errors);
+    }
 }
 
 /// A derived artifact, memoized by the store.
@@ -173,12 +213,77 @@ struct Shelf {
     set_hash: u64,
 }
 
-/// The store: profiles plus the memo cache over them.
+/// Tuning knobs for durable stores ([`ProfileStore::open_durable`]).
+#[derive(Clone, Debug)]
+pub struct PersistOptions {
+    /// Compact (snapshot + reset the WAL) once the WAL exceeds this many
+    /// bytes. The compaction cost is proportional to the whole corpus,
+    /// so this trades replay time against snapshot churn.
+    pub snapshot_wal_bytes: u64,
+    /// `fsync` the WAL after every append (and the snapshot after every
+    /// compaction). Off by default: flushing to the OS already survives
+    /// a SIGKILL of the daemon; `fsync` additionally survives power loss
+    /// at a large per-append cost.
+    pub fsync: bool,
+}
+
+impl Default for PersistOptions {
+    fn default() -> Self {
+        PersistOptions {
+            snapshot_wal_bytes: 4 << 20,
+            fsync: false,
+        }
+    }
+}
+
+/// Persistence counters: what recovery found at startup plus runtime
+/// append/compaction activity. All zeros for in-memory stores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Whether the store is backed by a data directory.
+    pub durable: bool,
+    /// Records loaded from the snapshot at startup.
+    pub snapshot_records_loaded: u64,
+    /// Records replayed from the WAL at startup.
+    pub wal_records_replayed: u64,
+    /// Torn/corrupt WAL tail bytes dropped at startup.
+    pub wal_truncated_bytes: u64,
+    /// Torn/corrupt snapshot tail bytes dropped at startup.
+    pub snapshot_truncated_bytes: u64,
+    /// Replayed records whose JSON no longer parsed (checksum held, so
+    /// this indicates a profile-format change, not bit rot).
+    pub replay_parse_failures: u64,
+    /// Records appended to the WAL since startup.
+    pub wal_appends: u64,
+    /// Current WAL size in bytes (file header included).
+    pub wal_bytes: u64,
+    /// Snapshot compactions performed since startup (flushes included).
+    pub snapshots_written: u64,
+    /// Append/compaction I/O failures (the store keeps serving from
+    /// memory; durability of the affected records is lost).
+    pub io_errors: u64,
+}
+
+/// Live persistence state: the WAL appender plus its counters, guarded
+/// by one mutex so appends and compactions serialize.
+struct Persistence {
+    dir: PathBuf,
+    wal: wal::WalWriter,
+    opts: PersistOptions,
+    stats: PersistStats,
+}
+
+/// The store: profiles plus the memo cache over them, optionally backed
+/// by a WAL + snapshot data directory.
 pub struct ProfileStore {
     shelf: RwLock<Shelf>,
     cache: MemoCache<(u64, Query), Artifact>,
     dedup_hits: AtomicU64,
     parse_failures: AtomicU64,
+    /// `None` for in-memory stores. Lock order: `persist` may be taken
+    /// first with `shelf` read-locked inside it (compaction does this);
+    /// never acquire `persist` while holding `shelf`.
+    persist: Mutex<Option<Persistence>>,
 }
 
 impl Default for ProfileStore {
@@ -187,12 +292,16 @@ impl Default for ProfileStore {
     }
 }
 
-/// Default number of memoized artifacts.
-const DEFAULT_CACHE_CAPACITY: usize = 256;
+/// Files per [`ProfileStore::ingest_dir`] read-and-parse chunk: bounds
+/// buffered bytes while still letting rayon parse a chunk in parallel.
+const INGEST_DIR_CHUNK: usize = 32;
 
 impl ProfileStore {
+    /// Default number of memoized artifacts.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
     pub fn new() -> Self {
-        Self::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
+        Self::with_cache_capacity(Self::DEFAULT_CACHE_CAPACITY)
     }
 
     pub fn with_cache_capacity(capacity: usize) -> Self {
@@ -201,7 +310,128 @@ impl ProfileStore {
             cache: MemoCache::new(capacity),
             dedup_hits: AtomicU64::new(0),
             parse_failures: AtomicU64::new(0),
+            persist: Mutex::new(None),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    /// Open a durable store on `dir`: load the snapshot, replay the WAL
+    /// (truncating at the first torn/corrupt record), and attach an
+    /// appender so every later ingest is logged before it is
+    /// acknowledged. Recovery counts are available via
+    /// [`ProfileStore::persist_stats`].
+    pub fn open_durable(
+        dir: &Path,
+        cache_capacity: usize,
+        opts: PersistOptions,
+    ) -> io::Result<ProfileStore> {
+        std::fs::create_dir_all(dir)?;
+        let store = Self::with_cache_capacity(cache_capacity);
+        let mut stats = PersistStats {
+            durable: true,
+            ..PersistStats::default()
+        };
+
+        let snap = snapshot::load_snapshot(dir)?;
+        stats.snapshot_records_loaded = snap.records.len() as u64;
+        stats.snapshot_truncated_bytes = snap.truncated_bytes;
+        let log = wal::scan_file(&wal::wal_path(dir), wal::WAL_MAGIC)?;
+        stats.wal_records_replayed = log.records.len() as u64;
+        stats.wal_truncated_bytes = log.truncated_bytes;
+
+        // Replay snapshot first, then the log on top; content addressing
+        // dedups records present in both. Persistence is not attached
+        // yet, so replayed inserts do not re-append to the WAL.
+        let inputs: Vec<(String, String)> = snap
+            .records
+            .into_iter()
+            .chain(log.records)
+            .map(|r| (r.label, r.json))
+            .collect();
+        let report = store.ingest_batch(&inputs);
+        stats.replay_parse_failures = report.rejected.len() as u64;
+
+        let writer = wal::WalWriter::open_after(&wal::wal_path(dir), log.valid_len, opts.fsync)?;
+        stats.wal_bytes = writer.len();
+        *store.persist.lock() = Some(Persistence {
+            dir: dir.to_path_buf(),
+            wal: writer,
+            opts,
+            stats,
+        });
+        Ok(store)
+    }
+
+    /// Whether this store is backed by a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.persist.lock().is_some()
+    }
+
+    /// Persistence counters (all-zero default for in-memory stores).
+    pub fn persist_stats(&self) -> PersistStats {
+        self.persist
+            .lock()
+            .as_ref()
+            .map(|p| p.stats)
+            .unwrap_or_default()
+    }
+
+    /// Force a snapshot compaction now: write the whole corpus to the
+    /// snapshot atomically and reset the WAL. A no-op for in-memory
+    /// stores. Call on daemon shutdown so restart recovery is a pure
+    /// snapshot load.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut guard = self.persist.lock();
+        match guard.as_mut() {
+            None => Ok(()),
+            Some(p) => self.compact(p),
+        }
+    }
+
+    /// Append one newly inserted profile to the WAL, compacting when the
+    /// log outgrows the configured bound. I/O failures are counted and
+    /// reported, not propagated: the store keeps serving from memory.
+    fn persist_append(&self, label: &str, json: &str, id: ProfileId) {
+        let mut guard = self.persist.lock();
+        let Some(p) = guard.as_mut() else { return };
+        match p.wal.append(label, json, id.0) {
+            Ok(_) => {
+                p.stats.wal_appends += 1;
+                p.stats.wal_bytes = p.wal.len();
+            }
+            Err(e) => {
+                p.stats.io_errors += 1;
+                eprintln!("numa-store: WAL append for {label:?} failed: {e}");
+                return;
+            }
+        }
+        if p.wal.len() >= p.opts.snapshot_wal_bytes {
+            if let Err(e) = self.compact(p) {
+                p.stats.io_errors += 1;
+                eprintln!("numa-store: snapshot compaction failed: {e}");
+            }
+        }
+    }
+
+    /// Snapshot the whole corpus and reset the WAL. Caller holds the
+    /// `persist` mutex; the shelf is only read-locked briefly to clone
+    /// the profile `Arc`s, and any insert racing past that point simply
+    /// lands in both the snapshot and the fresh WAL (deduped on
+    /// replay).
+    fn compact(&self, p: &mut Persistence) -> io::Result<()> {
+        let profiles = self.shelf.read().profiles.clone();
+        let entries: Vec<(String, String, u64)> = profiles
+            .iter()
+            .map(|sp| (sp.label.clone(), sp.profile.to_json(), sp.id.0))
+            .collect();
+        snapshot::write_snapshot(&p.dir, &entries)?;
+        p.wal.reset()?;
+        p.stats.snapshots_written += 1;
+        p.stats.wal_bytes = p.wal.len();
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -210,14 +440,17 @@ impl ProfileStore {
 
     /// Ingest an already-parsed profile. Returns its id and whether it
     /// was new (`false` = content-identical profile already stored).
+    /// On durable stores the profile is in the WAL (flushed to the OS)
+    /// before this returns.
     pub fn ingest_profile(&self, label: &str, profile: NumaProfile) -> (ProfileId, bool) {
         let (id, canonical) = ProfileId::of(&profile);
-        let added = self.insert(Arc::new(StoredProfile {
+        let sp = Arc::new(StoredProfile {
             id,
             label: label.to_string(),
             profile,
             json_bytes: canonical.len(),
-        }));
+        });
+        let added = self.insert(sp, &canonical);
         (id, added)
     }
 
@@ -241,17 +474,23 @@ impl ProfileStore {
     /// short sequential tail. Bad inputs are reported, not fatal.
     pub fn ingest_batch(&self, inputs: &[(String, String)]) -> BatchReport {
         use rayon::prelude::*;
-        let parsed: Vec<Result<Arc<StoredProfile>, (String, String)>> = inputs
+        // Parsed profile paired with its canonical JSON (kept for the
+        // WAL append), or the (label, error) rejection.
+        type Parsed = Result<(Arc<StoredProfile>, String), (String, String)>;
+        let parsed: Vec<Parsed> = inputs
             .par_iter()
             .map(|(label, json)| match NumaProfile::from_json(json) {
                 Ok(profile) => {
                     let (id, canonical) = ProfileId::of(&profile);
-                    Ok(Arc::new(StoredProfile {
-                        id,
-                        label: label.clone(),
-                        profile,
-                        json_bytes: canonical.len(),
-                    }))
+                    Ok((
+                        Arc::new(StoredProfile {
+                            id,
+                            label: label.clone(),
+                            profile,
+                            json_bytes: canonical.len(),
+                        }),
+                        canonical,
+                    ))
                 }
                 Err(e) => Err((label.clone(), e.to_string())),
             })
@@ -259,9 +498,9 @@ impl ProfileStore {
         let mut report = BatchReport::default();
         for item in parsed {
             match item {
-                Ok(sp) => {
+                Ok((sp, canonical)) => {
                     let id = sp.id;
-                    if self.insert(sp) {
+                    if self.insert(sp, &canonical) {
                         report.added.push(id);
                     } else {
                         report.deduplicated += 1;
@@ -277,38 +516,61 @@ impl ProfileStore {
     }
 
     /// Ingest every `*.json` file in a directory (sorted by file name,
-    /// so batch reports are deterministic).
+    /// so batch reports are deterministic). Files are read in bounded
+    /// chunks — the whole directory is never buffered at once — and an
+    /// unreadable file is recorded in [`BatchReport::io_errors`] instead
+    /// of aborting the batch. Only listing the directory itself fails
+    /// the call.
     pub fn ingest_dir(&self, dir: &Path) -> std::io::Result<BatchReport> {
         let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|x| x == "json"))
             .collect();
         files.sort();
-        let mut inputs = Vec::with_capacity(files.len());
-        for f in &files {
-            let label = f
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_else(|| f.display().to_string());
-            inputs.push((label, std::fs::read_to_string(f)?));
+        let mut report = BatchReport::default();
+        for chunk in files.chunks(INGEST_DIR_CHUNK) {
+            let mut inputs = Vec::with_capacity(chunk.len());
+            for f in chunk {
+                let label = f
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| f.display().to_string());
+                match std::fs::read_to_string(f) {
+                    Ok(json) => inputs.push((label, json)),
+                    Err(e) => report.io_errors.push((label, e.to_string())),
+                }
+            }
+            report.merge(self.ingest_batch(&inputs));
         }
-        Ok(self.ingest_batch(&inputs))
+        Ok(report)
     }
 
-    fn insert(&self, sp: Arc<StoredProfile>) -> bool {
-        let mut shelf = self.shelf.write();
-        if shelf.by_id.contains_key(&sp.id) {
-            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-            return false;
+    fn insert(&self, sp: Arc<StoredProfile>, canonical: &str) -> bool {
+        let (id, label) = (sp.id, sp.label.clone());
+        let added = {
+            let mut shelf = self.shelf.write();
+            if shelf.by_id.contains_key(&sp.id) {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                false
+            } else {
+                let idx = shelf.profiles.len();
+                // XOR fold: the set hash must not depend on insertion
+                // order, so ingesting the same corpus from a directory
+                // or a stream yields the same scope key for pooled
+                // queries.
+                shelf.set_hash ^= mix(0x9e37_79b9_7f4a_7c15, sp.id.0);
+                shelf.by_id.insert(sp.id, idx);
+                shelf.profiles.push(sp);
+                true
+            }
+        };
+        // WAL append happens outside the shelf lock (see the `persist`
+        // field's lock-order note) but before the ingest returns, so an
+        // acknowledged profile is always on disk.
+        if added {
+            self.persist_append(&label, canonical, id);
         }
-        let idx = shelf.profiles.len();
-        // XOR fold: the set hash must not depend on insertion order, so
-        // ingesting the same corpus from a directory or a stream yields
-        // the same scope key for pooled queries.
-        shelf.set_hash ^= mix(0x9e37_79b9_7f4a_7c15, sp.id.0);
-        shelf.by_id.insert(sp.id, idx);
-        shelf.profiles.push(sp);
-        true
+        added
     }
 
     // ------------------------------------------------------------------
@@ -354,13 +616,32 @@ impl ProfileStore {
     }
 
     /// Resolve a CLI-style reference: a hex id prefix or a label.
-    pub fn resolve(&self, needle: &str) -> Option<Arc<StoredProfile>> {
+    ///
+    /// A needle matching several stored profiles (a short hex prefix,
+    /// or a label two runs share) is a typed
+    /// [`StoreError::Ambiguous`] listing every candidate — never a
+    /// silent first-match pick. A full 16-digit id always resolves
+    /// unambiguously, even if it collides with another profile's label.
+    pub fn resolve(&self, needle: &str) -> Result<Arc<StoredProfile>, StoreError> {
         let shelf = self.shelf.read();
-        shelf
+        let matches: Vec<&Arc<StoredProfile>> = shelf
             .profiles
             .iter()
-            .find(|p| p.id.to_string().starts_with(needle) || p.label == needle)
-            .map(Arc::clone)
+            .filter(|p| p.label == needle || p.id.to_string().starts_with(needle))
+            .collect();
+        match matches.as_slice() {
+            [] => Err(StoreError::NoMatch(needle.to_string())),
+            [one] => Ok(Arc::clone(one)),
+            many => {
+                if let Some(exact) = many.iter().find(|p| p.id.to_string() == needle) {
+                    return Ok(Arc::clone(exact));
+                }
+                Err(StoreError::Ambiguous {
+                    needle: needle.to_string(),
+                    candidates: many.iter().map(|p| (p.id, p.label.clone())).collect(),
+                })
+            }
+        }
     }
 
     /// Order-insensitive content hash of the stored set; pooled cache
@@ -467,14 +748,23 @@ impl ProfileStore {
     }
 
     pub fn stats(&self) -> StoreStats {
-        let shelf = self.shelf.read();
+        let (profiles, json_bytes, set_hash) = {
+            let shelf = self.shelf.read();
+            (
+                shelf.profiles.len(),
+                shelf.profiles.iter().map(|p| p.json_bytes).sum(),
+                shelf.set_hash,
+            )
+        };
         StoreStats {
-            profiles: shelf.profiles.len(),
-            json_bytes: shelf.profiles.iter().map(|p| p.json_bytes).sum(),
+            profiles,
+            json_bytes,
+            set_hash,
             deduplicated: self.dedup_hits.load(Ordering::Relaxed),
             parse_failures: self.parse_failures.load(Ordering::Relaxed),
             cached_artifacts: self.cache.len(),
             cache: self.cache.stats(),
+            persist: self.persist_stats(),
         }
     }
 }
@@ -485,22 +775,28 @@ pub struct StoreStats {
     pub profiles: usize,
     /// Total canonical-JSON footprint of the stored set.
     pub json_bytes: usize,
+    /// Order-insensitive content hash of the stored set (see
+    /// [`ProfileStore::set_hash`]); two stores holding the same corpus
+    /// report the same value, which is how recovery is verified.
+    pub set_hash: u64,
     /// Ingest attempts that deduplicated against an existing profile.
     pub deduplicated: u64,
     pub parse_failures: u64,
     pub cached_artifacts: usize,
     pub cache: CacheStats,
+    pub persist: PersistStats,
 }
 
 impl StoreStats {
     pub fn render(&self) -> String {
-        format!(
-            "profiles: {} ({} KiB canonical JSON)\n\
+        let mut out = format!(
+            "profiles: {} ({} KiB canonical JSON), set hash {:016x}\n\
              ingest: {} deduplicated, {} parse failure(s)\n\
              cache: {} artifact(s) resident; {} hit(s), {} miss(es), \
              {} insertion(s), {} eviction(s) ({:.0}% hit rate)\n",
             self.profiles,
             self.json_bytes / 1024,
+            self.set_hash,
             self.deduplicated,
             self.parse_failures,
             self.cached_artifacts,
@@ -509,6 +805,25 @@ impl StoreStats {
             self.cache.insertions,
             self.cache.evictions,
             self.cache.hit_rate() * 100.0
-        )
+        );
+        if self.persist.durable {
+            let p = &self.persist;
+            out.push_str(&format!(
+                "persistence: recovered {} snapshot + {} wal record(s), \
+                 {} truncated byte(s), {} stale parse(s); \
+                 {} append(s) ({} KiB wal), {} snapshot(s) written, {} io error(s)\n",
+                p.snapshot_records_loaded,
+                p.wal_records_replayed,
+                p.wal_truncated_bytes + p.snapshot_truncated_bytes,
+                p.replay_parse_failures,
+                p.wal_appends,
+                p.wal_bytes / 1024,
+                p.snapshots_written,
+                p.io_errors,
+            ));
+        } else {
+            out.push_str("persistence: off (in-memory store)\n");
+        }
+        out
     }
 }

@@ -1,0 +1,91 @@
+//! Compacted snapshots of the full stored corpus.
+//!
+//! A snapshot is the same record stream as the WAL (see [`crate::wal`])
+//! under a different magic, holding one record per stored profile. It
+//! is written atomically — to a `.tmp` sibling, synced, then renamed
+//! over the live file — so a crash mid-snapshot leaves the previous
+//! snapshot intact. After a successful snapshot the WAL is reset: the
+//! snapshot-plus-empty-log pair is equivalent to the old
+//! snapshot-plus-full-log pair.
+//!
+//! Recovery loads the snapshot first, then replays the WAL on top;
+//! content-addressed ingestion dedups any overlap (a record present in
+//! both because a crash interleaved an append with a compaction).
+
+use crate::wal::{encode_file_header, encode_record, scan_file, RecordScan, SNAPSHOT_MAGIC};
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Snapshot file name inside a data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// Path of the snapshot inside `dir`.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// Write a snapshot of `entries` (`(label, canonical_json,
+/// content_hash)`) atomically. Returns the snapshot's byte size.
+pub fn write_snapshot(dir: &Path, entries: &[(String, String, u64)]) -> io::Result<u64> {
+    let live = snapshot_path(dir);
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let mut bytes = 0u64;
+    {
+        let mut f = File::create(&tmp)?;
+        let header = encode_file_header(SNAPSHOT_MAGIC);
+        f.write_all(&header)?;
+        bytes += header.len() as u64;
+        for (label, json, hash) in entries {
+            let record = encode_record(label, json, *hash);
+            f.write_all(&record)?;
+            bytes += record.len() as u64;
+        }
+        f.flush()?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, &live)?;
+    Ok(bytes)
+}
+
+/// Load the snapshot, if any. Damage is handled like WAL damage: the
+/// intact record prefix is returned and the rest reported as truncated.
+pub fn load_snapshot(dir: &Path) -> io::Result<RecordScan> {
+    scan_file(&snapshot_path(dir), SNAPSHOT_MAGIC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::fnv1a;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("numa-snap-unit-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_replaces_atomically() {
+        let dir = tmp("roundtrip");
+        let json = "{\"v\":1}";
+        let entry = |label: &str| (label.to_string(), json.to_string(), fnv1a(json.as_bytes()));
+        write_snapshot(&dir, &[entry("a")]).unwrap();
+        write_snapshot(&dir, &[entry("a"), entry("b")]).unwrap();
+        let scan = load_snapshot(&dir).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].label, "b");
+        assert_eq!(scan.truncated_bytes, 0);
+        assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_loads_empty() {
+        let dir = tmp("missing");
+        let scan = load_snapshot(&dir).unwrap();
+        assert!(scan.records.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

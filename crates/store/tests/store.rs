@@ -201,7 +201,7 @@ fn ingest_dir_loads_json_files() {
     assert_eq!(report.added.len(), 2);
     assert!(report.rejected.is_empty());
     assert_eq!(store.len(), 2);
-    assert!(store.resolve("a.json").is_some());
+    assert!(store.resolve("a.json").is_ok());
 }
 
 #[test]
@@ -210,5 +210,43 @@ fn resolve_accepts_id_prefix_and_label() {
     let (id, _) = store.ingest_profile("baseline", profile(1));
     assert_eq!(store.resolve("baseline").unwrap().id, id);
     assert_eq!(store.resolve(&id.to_string()[..8]).unwrap().id, id);
-    assert!(store.resolve("nope").is_none());
+    assert!(matches!(store.resolve("nope"), Err(StoreError::NoMatch(n)) if n == "nope"));
+}
+
+#[test]
+fn resolve_reports_ambiguity_with_candidates() {
+    let store = ProfileStore::new();
+    // Same label on two distinct profiles: resolving by label is ambiguous.
+    let (a, _) = store.ingest_profile("run", profile(1));
+    let (b, _) = store.ingest_profile("run", profile(2));
+    match store.resolve("run") {
+        Err(StoreError::Ambiguous { needle, candidates }) => {
+            assert_eq!(needle, "run");
+            let ids: Vec<_> = candidates.iter().map(|(id, _)| *id).collect();
+            assert!(ids.contains(&a) && ids.contains(&b));
+            assert!(candidates.iter().all(|(_, label)| label == "run"));
+        }
+        Err(other) => panic!("expected Ambiguous, got {other:?}"),
+        Ok(sp) => panic!("expected Ambiguous, resolved to {}", sp.id),
+    }
+    // A full 16-hex id always short-circuits the ambiguity.
+    assert_eq!(store.resolve(&a.to_string()).unwrap().id, a);
+    assert_eq!(store.resolve(&b.to_string()).unwrap().id, b);
+}
+
+#[test]
+fn ingest_dir_records_unreadable_entries() {
+    let dir = std::env::temp_dir().join(format!("numa-store-ioerr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("good.json"), profile(1).to_json()).unwrap();
+    // A *directory* named like a profile triggers a read error on every
+    // platform (even running as root, where permission bits are ignored).
+    std::fs::create_dir_all(dir.join("bad.json")).unwrap();
+    let store = ProfileStore::new();
+    let report = store.ingest_dir(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(report.added.len(), 1);
+    assert_eq!(report.io_errors.len(), 1);
+    assert!(report.io_errors[0].0.contains("bad.json"));
+    assert_eq!(store.len(), 1);
 }

@@ -1,0 +1,264 @@
+//! Durability tests for the persistent store: reopen round-trips, WAL
+//! compaction into snapshots, and fault injection — truncating the log
+//! at arbitrary offsets and flipping arbitrary bytes must never panic
+//! and must recover exactly the intact-record prefix.
+
+use numa_machine::{Machine, MachinePreset, PlacementPolicy};
+use numa_profiler::{finish_profile, NumaProfile, NumaProfiler, ProfilerConfig};
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_sim::{ExecMode, Program};
+use numa_store::wal::{scan_file, wal_path, FILE_HEADER_LEN, WAL_MAGIC};
+use numa_store::{PersistOptions, ProfileStore};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A small profile; `rounds` varies the content hash. Sampling inside
+/// the simulated profiler is interval-randomized, so two calls with the
+/// same `rounds` produce *different* content — tests that need the same
+/// profile twice must serialize once and reuse the JSON (see [`corpus`]).
+fn profile(rounds: usize) -> NumaProfile {
+    let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
+    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8));
+    let profiler = std::sync::Arc::new(NumaProfiler::new(machine.clone(), config, 4));
+    let mut p = Program::new(machine, 4, ExecMode::Sequential, profiler.clone());
+    let size = 1u64 << 18;
+    let mut base = 0;
+    p.serial("main", |ctx| {
+        base = ctx.alloc("z", size, PlacementPolicy::FirstTouch);
+        ctx.store_range(base, size / 64, 64);
+    });
+    for _ in 0..rounds {
+        p.parallel("compute._omp", |tid, ctx| {
+            let chunk = size / 4;
+            ctx.load_range(base + tid as u64 * chunk, chunk / 64, 64);
+        });
+    }
+    finish_profile(p, profiler)
+}
+
+/// Canonical JSON of four distinct profiles, generated once per test
+/// process so every test (and every proptest case) ingests bit-identical
+/// content and cross-store hash comparisons are meaningful.
+fn corpus() -> &'static [String; 4] {
+    static CORPUS: OnceLock<[String; 4]> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        [
+            profile(1).to_json(),
+            profile(2).to_json(),
+            profile(3).to_json(),
+            profile(4).to_json(),
+        ]
+    })
+}
+
+/// Fresh scratch dir per call, unique across tests and proptest cases.
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "numa-wal-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn open(dir: &Path, opts: PersistOptions) -> ProfileStore {
+    ProfileStore::open_durable(dir, 16, opts).expect("open durable store")
+}
+
+#[test]
+fn durable_store_round_trips_across_reopen() {
+    let dir = scratch("reopen");
+    let oracle = ProfileStore::new();
+    {
+        let store = open(&dir, PersistOptions::default());
+        for (r, json) in corpus().iter().enumerate() {
+            store.ingest_bytes(&format!("run-{r}"), json).unwrap();
+            oracle.ingest_bytes(&format!("run-{r}"), json).unwrap();
+        }
+        assert!(store.is_durable());
+        assert_eq!(store.set_hash(), oracle.set_hash());
+        // No flush, no clean shutdown: everything must live in the WAL.
+    }
+    let store = open(&dir, PersistOptions::default());
+    assert_eq!(store.len(), 4);
+    assert_eq!(store.set_hash(), oracle.set_hash());
+    let p = store.persist_stats();
+    assert_eq!(p.wal_records_replayed, 4);
+    assert_eq!(p.snapshot_records_loaded, 0);
+    assert_eq!(p.wal_truncated_bytes, 0);
+    // Labels survive the round trip too.
+    assert_eq!(store.resolve("run-3").unwrap().label, "run-3");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flush_compacts_wal_into_snapshot() {
+    let dir = scratch("flush");
+    let oracle = ProfileStore::new();
+    {
+        let store = open(&dir, PersistOptions::default());
+        store.ingest_bytes("a", &corpus()[0]).unwrap();
+        store.ingest_bytes("b", &corpus()[1]).unwrap();
+        oracle.ingest_bytes("a", &corpus()[0]).unwrap();
+        oracle.ingest_bytes("b", &corpus()[1]).unwrap();
+        store.flush().unwrap();
+        assert!(store.persist_stats().snapshots_written >= 1);
+    }
+    // After a flush the WAL holds nothing but its header.
+    let scan = scan_file(&wal_path(&dir), WAL_MAGIC).unwrap();
+    assert!(scan.records.is_empty());
+    assert_eq!(scan.truncated_bytes, 0);
+
+    let store = open(&dir, PersistOptions::default());
+    assert_eq!(store.len(), 2);
+    assert_eq!(store.set_hash(), oracle.set_hash());
+    let p = store.persist_stats();
+    assert_eq!(p.snapshot_records_loaded, 2);
+    assert_eq!(p.wal_records_replayed, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tiny_threshold_compacts_automatically() {
+    let dir = scratch("auto-compact");
+    let opts = PersistOptions {
+        snapshot_wal_bytes: 1, // every append crosses the threshold
+        ..PersistOptions::default()
+    };
+    let store = open(&dir, opts);
+    for (r, json) in corpus().iter().enumerate().take(3) {
+        store.ingest_bytes(&format!("run-{r}"), json).unwrap();
+    }
+    assert!(store.persist_stats().snapshots_written >= 3);
+    drop(store);
+    let store = open(&dir, PersistOptions::default());
+    assert_eq!(store.len(), 3);
+    assert_eq!(store.persist_stats().snapshot_records_loaded, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_does_not_reappend_records() {
+    let dir = scratch("no-reappend");
+    {
+        let store = open(&dir, PersistOptions::default());
+        store.ingest_bytes("a", &corpus()[0]).unwrap();
+    }
+    let len_once = std::fs::metadata(wal_path(&dir)).unwrap().len();
+    {
+        // Reopen + replay must not grow the WAL (replayed inserts are
+        // already durable).
+        let store = open(&dir, PersistOptions::default());
+        assert_eq!(store.len(), 1);
+    }
+    let len_twice = std::fs::metadata(wal_path(&dir)).unwrap().len();
+    assert_eq!(len_once, len_twice);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicate_content_is_not_persisted_twice() {
+    let dir = scratch("dedup");
+    {
+        let store = open(&dir, PersistOptions::default());
+        store.ingest_bytes("a", &corpus()[0]).unwrap();
+        store.ingest_bytes("a-again", &corpus()[0]).unwrap(); // same content hash
+        assert_eq!(store.len(), 1);
+    }
+    let scan = scan_file(&wal_path(&dir), WAL_MAGIC).unwrap();
+    assert_eq!(scan.records.len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Ingest the first three corpus profiles one at a time, recording the
+/// WAL length after each, so fault-injection tests know exactly where
+/// record boundaries fall. Returns (per-record end offsets, per-prefix
+/// set hashes) where `set_hashes[k]` covers the first `k` profiles.
+fn build_wal(dir: &Path) -> (Vec<u64>, Vec<u64>) {
+    let store = open(dir, PersistOptions::default());
+    let oracle = ProfileStore::new();
+    let mut ends = Vec::new();
+    let mut hashes = vec![oracle.set_hash()];
+    for (r, json) in corpus().iter().enumerate().take(3) {
+        store.ingest_bytes(&format!("run-{r}"), json).unwrap();
+        oracle.ingest_bytes(&format!("run-{r}"), json).unwrap();
+        ends.push(std::fs::metadata(wal_path(dir)).unwrap().len());
+        hashes.push(oracle.set_hash());
+    }
+    (ends, hashes)
+}
+
+proptest! {
+    /// Chop the WAL at an arbitrary byte offset: recovery must never
+    /// error and must yield exactly the records that fit entirely
+    /// before the cut.
+    #[test]
+    fn truncation_recovers_intact_prefix(cut_permille in 0u64..1001) {
+        let dir = scratch("trunc");
+        let (ends, hashes) = build_wal(&dir);
+        let full = *ends.last().unwrap();
+        let cut = full * cut_permille / 1000;
+        let bytes = std::fs::read(wal_path(&dir)).unwrap();
+        std::fs::write(wal_path(&dir), &bytes[..cut as usize]).unwrap();
+
+        let intact = ends.iter().filter(|&&e| e <= cut).count();
+        let store = open(&dir, PersistOptions::default());
+        prop_assert_eq!(store.len(), intact);
+        prop_assert_eq!(store.set_hash(), hashes[intact]);
+        let p = store.persist_stats();
+        prop_assert_eq!(p.wal_records_replayed, intact as u64);
+        // A cut inside the 8-byte file header invalidates the whole
+        // file (all `cut` bytes are damage); otherwise damage is what
+        // lies between the intact prefix and the cut.
+        let intact_end = if intact == 0 { FILE_HEADER_LEN } else { ends[intact - 1] };
+        let expect_damage = if cut < FILE_HEADER_LEN { cut } else { cut - intact_end };
+        prop_assert_eq!(p.wal_truncated_bytes, expect_damage);
+
+        // The reopened writer resumes from the intact prefix: a fresh
+        // ingest after damage must survive the next reopen.
+        store.ingest_bytes("after-damage", &corpus()[3]).unwrap();
+        let expect = store.set_hash();
+        drop(store);
+        let store = open(&dir, PersistOptions::default());
+        prop_assert_eq!(store.len(), intact + 1);
+        prop_assert_eq!(store.set_hash(), expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Flip one byte anywhere in the WAL: recovery must never panic,
+    /// and any record at or after the flipped byte is discarded while
+    /// everything before it survives.
+    #[test]
+    fn single_byte_corruption_recovers_prefix(pos_permille in 0u64..1000, xor in 1u16..256) {
+        let dir = scratch("flip");
+        let (ends, hashes) = build_wal(&dir);
+        let full = *ends.last().unwrap();
+        let pos = (full * pos_permille / 1000) as usize;
+        let mut bytes = std::fs::read(wal_path(&dir)).unwrap();
+        bytes[pos] ^= xor as u8;
+        std::fs::write(wal_path(&dir), &bytes).unwrap();
+
+        // Records strictly before the flipped byte are untouched; the
+        // record containing it fails its checksum (FNV-1a maps a fixed
+        // single-byte substitution to a different hash) or, if the flip
+        // hits the file header, nothing replays at all.
+        let store = open(&dir, PersistOptions::default());
+        if (pos as u64) < FILE_HEADER_LEN {
+            prop_assert_eq!(store.len(), 0);
+            prop_assert_eq!(store.persist_stats().wal_truncated_bytes, full);
+        } else {
+            let intact = ends.iter().filter(|&&e| e <= pos as u64).count();
+            prop_assert_eq!(store.len(), intact);
+            prop_assert_eq!(store.set_hash(), hashes[intact]);
+            let p = store.persist_stats();
+            // Everything from the end of the intact prefix on is damage.
+            let intact_end = if intact == 0 { FILE_HEADER_LEN } else { ends[intact - 1] };
+            prop_assert_eq!(p.wal_truncated_bytes, full - intact_end);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -75,6 +75,36 @@ fn use_after_free_is_a_wild_access() {
 }
 
 #[test]
+fn unbalanced_exits_surface_on_the_profile_not_as_a_panic() {
+    use hpctoolkit_numa::profiler::{finish_profile, NumaProfiler, ProfilerConfig};
+    use hpctoolkit_numa::sampling::{MechanismConfig, MechanismKind};
+    let m = machine();
+    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8));
+    let profiler = std::sync::Arc::new(NumaProfiler::new(m.clone(), config, 2));
+    let mut p = Program::new(m, 2, ExecMode::Sequential, profiler.clone());
+    p.parallel("work._omp", |tid, ctx| {
+        // Thread 1 replays a malformed trace whose exits outnumber its
+        // enters; the engine absorbs each underflow as a counted no-op.
+        if tid == 1 {
+            ctx.exit_frame();
+            ctx.exit_frame();
+        }
+        ctx.compute(100);
+    });
+    let profile = finish_profile(p, profiler);
+    assert_eq!(profile.threads[0].stack_underflows, 0);
+    // Thread 1's first extra pop closes the region frame, its second
+    // underflows, and the region scope's own closing pop underflows too.
+    assert_eq!(profile.threads[1].stack_underflows, 2);
+    assert_eq!(profile.total_stack_underflows(), 2);
+    // The malformed thread still profiled its compute work.
+    assert!(profile.threads[1].instructions >= 100);
+    // And the count survives the on-disk round trip.
+    let round = NumaProfile::from_json(&profile.to_json()).expect("round trip");
+    assert_eq!(round.total_stack_underflows(), 2);
+}
+
+#[test]
 fn corrupt_profiles_are_rejected_not_panicked() {
     assert!(NumaProfile::from_json("not json").is_err());
     assert!(NumaProfile::from_json("{}").is_err());
