@@ -1,18 +1,43 @@
 //! Profile merging and derived metrics (the `hpcprof` role, §7.2).
 //!
 //! Merging thread profiles accumulates metric values but applies a
-//! *[min, max] reduction* to address ranges — the one customization the
-//! paper needed in HPCToolkit's profile merger.
+//! *\[min,max\] reduction* to address ranges — the one customization the
+//! paper needed in HPCToolkit's profile merger. Since the engine
+//! refactor the merge itself lives in [`numa_engine`]: the analyzer is
+//! a thin presentation wrapper over an [`Engine`] whose prebuilt
+//! columnar index answers every query as an O(lookup) probe, and which
+//! can be shared (`Arc`) between analyzers without cloning the profile.
+//!
+//! # Miss behavior
+//!
+//! Every accessor taking a [`VarId`] follows one contract for ids the
+//! profile has no record of (malformed input, or a stale id from
+//! another run): **a documented empty result, never a panic and never
+//! an error**.
+//!
+//! * [`Analyzer::var_metrics`] → a zeroed [`MetricSet`];
+//! * [`Analyzer::thread_ranges`] / [`Analyzer::thread_ranges_with_threshold`]
+//!   → an empty `Vec`;
+//! * [`Analyzer::var_regions`] → an empty `Vec`;
+//! * [`Analyzer::first_touch_sites`] → an empty `Vec`;
+//! * [`Analyzer::merged_range`] → `None` (the only `Option` accessor:
+//!   it answers a point lookup, not a listing).
+//!
+//! Name lookups ([`Analyzer::var_named`], [`Analyzer::region_named`])
+//! return `Option` because "not present" is the expected answer for
+//! user-supplied names.
 
+use numa_engine::Engine;
 use numa_machine::DomainId;
 use numa_profiler::{
-    MetricSet, NumaProfile, RangeKey, RangeScope, RangeStat, VarId, LPI_THRESHOLD,
+    Cct, MetricSet, NumaProfile, RangeKey, RangeScope, RangeStat, VarId, LPI_THRESHOLD,
 };
 use numa_sampling::MechanismKind;
 use numa_sim::{FuncId, VarKind};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::Arc;
+
+pub use numa_engine::ThreadRange;
 
 /// Whole-program derived metrics (§4).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -74,97 +99,64 @@ pub struct VarAnalysis {
     pub alloc_tid: usize,
 }
 
-/// Per-thread normalized [min, max] accessed range of one variable under
-/// one scope — a column of the paper's address-centric view (Figure 3's
-/// upper-right pane).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ThreadRange {
-    pub tid: usize,
-    /// Normalized to the variable extent: 0.0 = first byte, 1.0 = last.
-    pub min: f64,
-    pub max: f64,
-    pub samples: u64,
-    pub latency: u64,
-}
-
-/// The offline analyzer: wraps a profile and answers analysis queries.
+/// The offline analyzer: answers analysis queries through the shared
+/// [`Engine`] (see the module docs for the miss-behavior contract).
 pub struct Analyzer {
-    profile: NumaProfile,
-    totals: MetricSet,
-    var_totals: HashMap<VarId, MetricSet>,
-    /// Merged ranges (the [min,max]-reduced all-thread view).
-    merged_ranges: HashMap<RangeKey, RangeStat>,
+    engine: Arc<Engine>,
 }
 
 impl Analyzer {
+    /// Analyze an owned profile (CLI entry point). The profile is moved
+    /// behind an `Arc`, never cloned.
     pub fn new(profile: NumaProfile) -> Self {
-        // Thread merging is embarrassingly parallel: fold per-thread partial
-        // aggregates, then reduce.
-        let domains = profile.domains;
-        let (totals, var_totals, merged_ranges) = profile
-            .threads
-            .par_iter()
-            .map(|t| {
-                let mut vt: HashMap<VarId, MetricSet> = HashMap::new();
-                for (v, m) in &t.var_metrics {
-                    vt.entry(*v)
-                        .or_insert_with(|| MetricSet::new(domains))
-                        .merge(m);
-                }
-                let mut mr: HashMap<RangeKey, RangeStat> = HashMap::new();
-                for (k, s) in &t.ranges {
-                    mr.entry(*k).and_modify(|acc| acc.merge(s)).or_insert(*s);
-                }
-                (t.totals.clone(), vt, mr)
-            })
-            .reduce(
-                || (MetricSet::new(domains), HashMap::new(), HashMap::new()),
-                |(mut t1, mut v1, mut r1), (t2, v2, r2)| {
-                    t1.merge(&t2);
-                    for (k, m) in v2 {
-                        v1.entry(k)
-                            .or_insert_with(|| MetricSet::new(domains))
-                            .merge(&m);
-                    }
-                    for (k, s) in r2 {
-                        r1.entry(k).and_modify(|acc| acc.merge(&s)).or_insert(s);
-                    }
-                    (t1, v1, r1)
-                },
-            );
+        Self::from_arc(Arc::new(profile))
+    }
+
+    /// Analyze a shared profile without copying it.
+    pub fn from_arc(profile: Arc<NumaProfile>) -> Self {
         Analyzer {
-            profile,
-            totals,
-            var_totals,
-            merged_ranges,
+            engine: Arc::new(Engine::new(profile)),
         }
     }
 
+    /// Wrap an already-built engine (the store's cached-analyzer path:
+    /// index construction is paid once per stored profile, not per
+    /// query).
+    pub fn from_engine(engine: Arc<Engine>) -> Self {
+        Analyzer { engine }
+    }
+
+    /// The underlying shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
     pub fn profile(&self) -> &NumaProfile {
-        &self.profile
+        self.engine.profile()
     }
 
     /// Program-wide merged metrics.
     pub fn totals(&self) -> &MetricSet {
-        &self.totals
+        self.engine.totals()
     }
 
     /// Program-wide derived metrics.
     pub fn program(&self) -> ProgramAnalysis {
-        let p = &self.profile;
+        let p = self.profile();
+        let totals = self.engine.totals();
         let lpi = match p.mechanism {
             // Eq. 2: sampled remote latency over sampled instructions.
-            MechanismKind::Ibs => self.totals.lpi_numa(),
+            MechanismKind::Ibs => totals.lpi_numa(),
             // Eq. 3: average latency per sampled event × absolute events /
             // absolute instructions (both from hardware counters).
             MechanismKind::PebsLl => {
-                let events: u64 = p.threads.iter().map(|t| t.numa_events).sum();
-                let instr = p.total_instructions();
-                if self.totals.samples_mem == 0 || instr == 0 {
+                let events = self.engine.total_numa_events();
+                let instr = self.engine.total_instructions();
+                if totals.samples_mem == 0 || instr == 0 {
                     None
                 } else {
                     let avg_remote_per_sample =
-                        self.totals.latency_remote as f64 / self.totals.samples_mem as f64;
+                        totals.latency_remote as f64 / totals.samples_mem as f64;
                     Some(avg_remote_per_sample * events as f64 / instr as f64)
                 }
             }
@@ -174,16 +166,16 @@ impl Analyzer {
         ProgramAnalysis {
             mechanism: p.mechanism,
             lpi_numa: lpi,
-            remote_fraction: self.totals.remote_fraction(),
-            per_domain: self.totals.per_domain.clone(),
-            domain_imbalance: self.totals.domain_imbalance(),
-            total_samples: self.totals.samples_mem,
-            total_latency: self.totals.latency_total,
-            remote_latency: self.totals.latency_remote,
-            remote_latency_fraction: if self.totals.latency_total == 0 {
+            remote_fraction: totals.remote_fraction(),
+            per_domain: totals.per_domain.clone(),
+            domain_imbalance: totals.domain_imbalance(),
+            total_samples: totals.samples_mem,
+            total_latency: totals.latency_total,
+            remote_latency: totals.latency_remote,
+            remote_latency_fraction: if totals.latency_total == 0 {
                 0.0
             } else {
-                self.totals.latency_remote as f64 / self.totals.latency_total as f64
+                totals.latency_remote as f64 / totals.latency_total as f64
             },
             heap_share: shares.0,
             static_share: shares.1,
@@ -191,23 +183,25 @@ impl Analyzer {
         }
     }
 
-    /// (heap, static, stack) shares of remote cost.
+    /// (heap, static, stack) shares of remote cost — a parallel fold
+    /// over the per-variable metric columns.
     fn kind_shares(&self) -> (f64, f64, f64) {
-        let mut heap = 0u64;
-        let mut stat = 0u64;
-        let mut stack = 0u64;
-        for (v, m) in &self.var_totals {
-            let w = self.remote_weight(m);
-            match self.profile.var(*v).map(|rec| rec.kind) {
-                Some(VarKind::Heap) => heap += w,
-                Some(VarKind::Static) => stat += w,
-                Some(VarKind::Stack) => stack += w,
-                // Samples attributed to a variable the profile has no
-                // record for (malformed input): leave them unclassified.
-                None => {}
-            }
-        }
-        let total = self.remote_weight(&self.totals);
+        let (heap, stat, stack) = self.engine.fold_vars(
+            || (0u64, 0u64, 0u64),
+            |v, m| {
+                let w = self.remote_weight(m);
+                match self.profile().var(v).map(|rec| rec.kind) {
+                    Some(VarKind::Heap) => (w, 0, 0),
+                    Some(VarKind::Static) => (0, w, 0),
+                    Some(VarKind::Stack) => (0, 0, w),
+                    // Samples attributed to a variable the profile has no
+                    // record for (malformed input): leave them unclassified.
+                    None => (0, 0, 0),
+                }
+            },
+            |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2),
+        );
+        let total = self.remote_weight(self.engine.totals());
         if total == 0 {
             (0.0, 0.0, 0.0)
         } else {
@@ -222,32 +216,34 @@ impl Analyzer {
     /// Cost weight used for rankings: remote latency when available,
     /// remote sample count otherwise.
     fn remote_weight(&self, m: &MetricSet) -> u64 {
-        if self.profile.capabilities.latency {
+        if self.profile().capabilities.latency {
             m.latency_remote
         } else {
             m.m_remote
         }
     }
 
-    /// Merged metrics of one variable (zeroed if never sampled).
+    /// Merged metrics of one variable (zeroed if never sampled or
+    /// unknown — see the module docs).
     pub fn var_metrics(&self, var: VarId) -> MetricSet {
-        self.var_totals
-            .get(&var)
+        self.engine
+            .var_metrics(var)
             .cloned()
-            .unwrap_or_else(|| MetricSet::new(self.profile.domains))
+            .unwrap_or_else(|| MetricSet::new(self.profile().domains))
     }
 
     /// All sampled variables, ranked by remote cost (highest first) — the
     /// "hot variables" list the case studies walk down.
     pub fn hot_variables(&self) -> Vec<VarAnalysis> {
-        let program_total = self.remote_weight(&self.totals).max(1);
+        let program_total = self.remote_weight(self.engine.totals()).max(1);
         let mut out: Vec<VarAnalysis> = self
-            .var_totals
+            .engine
+            .var_columns()
             .iter()
             .filter_map(|(v, m)| {
                 // Skip metric entries whose variable record is missing
                 // (malformed profile) rather than crash the ranking.
-                let rec = self.profile.var(*v)?;
+                let rec = self.profile().var(*v)?;
                 Some(VarAnalysis {
                     var: *v,
                     name: rec.name.clone(),
@@ -259,7 +255,7 @@ impl Analyzer {
                     alloc_path: rec
                         .alloc_path
                         .iter()
-                        .map(|f| self.profile.func_name(f.func).to_string())
+                        .map(|f| self.profile().func_name(f.func).to_string())
                         .collect::<Vec<_>>()
                         .join(" > "),
                     alloc_tid: rec.alloc_tid,
@@ -274,159 +270,70 @@ impl Analyzer {
         out
     }
 
-    /// Per-thread normalized [min,max] ranges of `var` under `scope`,
+    /// Per-thread normalized \[min,max\] ranges of `var` under `scope`,
     /// merged over each thread's *hot* bins (§5.2's rule of using hot bins
     /// to represent the pattern). A bin is hot for a thread if it holds at
     /// least `hot_bin_threshold` of the thread's *mean* per-bin weight:
     /// relative-to-mean hotness keeps uniformly spread sweeps intact while
     /// discarding one-off stray samples that would otherwise stretch the
-    /// [min,max] range. One entry per thread that sampled the variable.
+    /// \[min,max\] range. One entry per thread that sampled the variable;
+    /// empty for unknown `var` (see the module docs).
     pub fn thread_ranges(&self, var: VarId, scope: RangeScope) -> Vec<ThreadRange> {
         self.thread_ranges_with_threshold(var, scope, 0.05)
     }
 
+    /// See [`Analyzer::thread_ranges`]; an unknown `VarId` yields an
+    /// empty `Vec` (module-docs contract), matching every other listing
+    /// accessor.
     pub fn thread_ranges_with_threshold(
         &self,
         var: VarId,
         scope: RangeScope,
         hot_bin_threshold: f64,
     ) -> Vec<ThreadRange> {
-        // No record for this variable (malformed profile or a stale id
-        // from another run): report no ranges rather than panic.
-        let Some(rec) = self.profile.var(var) else {
-            return Vec::new();
-        };
-        let extent = rec.bytes.max(1) as f64;
-        let mut out = Vec::new();
-        for t in &self.profile.threads {
-            // Hotness is judged per thread: a bin represents this thread's
-            // pattern only if it holds a meaningful share of the thread's
-            // own samples, so one-off stray samples (a rare neighbour-block
-            // gather caught by sampling) cannot stretch the [min,max]
-            // range — exactly what the paper's hot-bin refinement is for.
-            let mut thread_total = 0u64;
-            let mut bin_weight: HashMap<u16, u64> = HashMap::new();
-            for (k, s) in &t.ranges {
-                if k.var == var && k.scope == scope {
-                    *bin_weight.entry(k.bin).or_insert(0) += s.count;
-                    thread_total += s.count;
-                }
-            }
-            if thread_total == 0 {
-                continue;
-            }
-            let mean = thread_total as f64 / bin_weight.len() as f64;
-            let cut = (hot_bin_threshold * mean).max(2.0);
-            let hot = |bin: u16| bin_weight[&bin] as f64 >= cut;
-            let mut merged: Option<RangeStat> = None;
-            for (k, s) in &t.ranges {
-                if k.var == var && k.scope == scope && hot(k.bin) {
-                    match &mut merged {
-                        Some(acc) => acc.merge(s),
-                        None => merged = Some(*s),
-                    }
-                }
-            }
-            if let Some(s) = merged {
-                out.push(ThreadRange {
-                    tid: t.tid,
-                    // Saturate: a corrupted range whose addresses fall
-                    // below the variable's base must not wrap to huge
-                    // offsets.
-                    min: s.min_addr.saturating_sub(rec.addr) as f64 / extent,
-                    max: s.max_addr.saturating_sub(rec.addr) as f64 / extent,
-                    samples: s.count,
-                    latency: s.latency,
-                });
-            }
-        }
-        out.sort_by_key(|r| r.tid);
-        out
+        self.engine.thread_ranges(var, scope, hot_bin_threshold)
     }
 
     /// Parallel regions in which `var` was sampled, with each region's
     /// share of the variable's cost (latency if available, else samples).
-    /// Sorted by descending share — the drill-down of Figures 4→5.
+    /// Sorted by descending share — the drill-down of Figures 4→5. Empty
+    /// for unknown `var`.
     pub fn var_regions(&self, var: VarId) -> Vec<(FuncId, f64)> {
-        let mut per_region: HashMap<FuncId, u64> = HashMap::new();
-        let mut program_total = 0u64;
-        let use_latency = self.profile.capabilities.latency;
-        for (k, s) in &self.merged_ranges {
-            if k.var != var {
-                continue;
-            }
-            // Weight by *NUMA* latency where available: local traffic
-            // (e.g. the master's initialization) must not dilute region
-            // shares (the paper's 74.2% is a share of NUMA access latency).
-            let w = if use_latency {
-                s.latency_remote
-            } else {
-                s.count
-            };
-            match k.scope {
-                RangeScope::Program => program_total += w,
-                RangeScope::Region(r) => *per_region.entry(r).or_insert(0) += w,
-            }
-        }
-        if program_total == 0 {
-            return Vec::new();
-        }
-        let mut out: Vec<(FuncId, f64)> = per_region
-            .into_iter()
-            .map(|(r, w)| (r, w as f64 / program_total as f64))
-            .collect();
-        // total_cmp: shares are finite here, but a NaN (degenerate
-        // profile) must not panic the sort.
-        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
-        out
+        self.engine.var_regions(var)
     }
 
     /// First-touch records for a variable, with rendered call paths —
-    /// "identify where data pages are bound to NUMA domains" (§2).
+    /// "identify where data pages are bound to NUMA domains" (§2). Empty
+    /// for unknown `var`.
     pub fn first_touch_sites(&self, var: VarId) -> Vec<(usize, DomainId, String)> {
-        self.profile
-            .first_touches
-            .iter()
-            .filter(|ft| ft.var == var)
-            .map(|ft| {
-                let path = ft
-                    .path
-                    .iter()
-                    .map(|f| self.profile.func_name(f.func).to_string())
-                    .collect::<Vec<_>>()
-                    .join(" > ");
-                (ft.tid, ft.domain, path)
-            })
-            .collect()
+        self.engine.first_touch_sites(var)
     }
 
     /// Merged range stat for an explicit key (tests / views).
     pub fn merged_range(&self, key: &RangeKey) -> Option<&RangeStat> {
-        self.merged_ranges.get(key)
+        self.engine.merged_range(key)
     }
 
-    /// Merge all threads' calling context trees into one, accumulating
-    /// exclusive metrics on shared paths — the code-centric pane of the
-    /// viewer.
-    pub fn merged_cct(&self) -> numa_profiler::Cct {
-        let mut merged = numa_profiler::Cct::new(self.profile.domains);
-        for t in &self.profile.threads {
-            for id in 0..t.cct.len() as numa_profiler::NodeId {
-                let node = t.cct.node(id);
-                if node.metrics == MetricSet::new(self.profile.domains) {
-                    continue; // nothing attributed exactly here
-                }
-                // Rebuild the node's path of keys and resolve it in the
-                // merged tree.
-                let path = t.cct.path_to(id);
-                let mut cur = numa_profiler::ROOT;
-                for &pid in path.iter().skip(1) {
-                    cur = merged.child(cur, t.cct.node(pid).key);
-                }
-                merged.node_mut(cur).metrics.merge(&node.metrics);
-            }
-        }
-        merged
+    /// The merged all-thread calling context tree — the code-centric
+    /// pane of the viewer. Prebuilt by the engine: borrowing it is free.
+    pub fn merged_cct(&self) -> &Cct {
+        self.engine.merged_cct()
+    }
+
+    /// Interned lookup of a variable by source name (first match, like
+    /// `NumaProfile::var_by_name`).
+    pub fn var_named(&self, name: &str) -> Option<VarId> {
+        self.engine.var_named(name)
+    }
+
+    /// Interned lookup of a parallel region / function by name.
+    pub fn region_named(&self, name: &str) -> Option<FuncId> {
+        self.engine.func_named(name)
+    }
+
+    /// `(tid, trace)` of every thread that recorded a trace.
+    pub fn traced_threads(&self) -> Vec<(usize, &numa_profiler::Trace)> {
+        self.engine.traced_threads()
     }
 }
 
@@ -437,7 +344,6 @@ mod tests {
     use numa_profiler::{finish_profile, NumaProfiler, ProfilerConfig};
     use numa_sampling::MechanismConfig;
     use numa_sim::{ExecMode, Program};
-    use std::sync::Arc;
 
     /// Master-init array, block-partitioned worker reads: the canonical
     /// first-touch bottleneck.
@@ -518,15 +424,9 @@ mod tests {
     #[test]
     fn thread_ranges_form_a_staircase() {
         let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 4));
-        let z = a.profile().var_by_name("z").unwrap().id;
+        let z = a.var_named("z").unwrap();
         // Worker-region scope isolates the parallel read pattern.
-        let region = a
-            .profile()
-            .func_names
-            .iter()
-            .position(|n| n == "CalcForce._omp")
-            .map(|i| FuncId(i as u32))
-            .unwrap();
+        let region = a.region_named("CalcForce._omp").unwrap();
         let ranges = a.thread_ranges(z, RangeScope::Region(region));
         assert_eq!(ranges.len(), 8);
         for (i, r) in ranges.iter().enumerate() {
@@ -543,7 +443,7 @@ mod tests {
     #[test]
     fn var_regions_rank_the_parallel_region_first() {
         let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 4));
-        let z = a.profile().var_by_name("z").unwrap().id;
+        let z = a.var_named("z").unwrap();
         let regions = a.var_regions(z);
         assert!(!regions.is_empty());
         let (top, share) = regions[0];
@@ -554,7 +454,7 @@ mod tests {
     #[test]
     fn first_touch_sites_name_the_init_code() {
         let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 64));
-        let z = a.profile().var_by_name("z").unwrap().id;
+        let z = a.var_named("z").unwrap();
         let sites = a.first_touch_sites(z);
         assert_eq!(sites.len(), 1);
         let (tid, domain, path) = &sites[0];
@@ -579,5 +479,55 @@ mod tests {
         let by_hand: u64 = profile.threads.iter().map(|t| t.totals.samples_mem).sum();
         let a = Analyzer::new(profile);
         assert_eq!(a.totals().samples_mem, by_hand);
+    }
+
+    #[test]
+    fn shared_engine_analyzers_see_one_profile() {
+        let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 16));
+        let b = Analyzer::from_engine(Arc::clone(a.engine()));
+        assert!(std::ptr::eq(a.profile(), b.profile()));
+        assert_eq!(a.totals(), b.totals());
+    }
+
+    /// Satellite: the one miss-behavior contract, exercised for every
+    /// `VarId`-taking accessor with an id the profile cannot have.
+    #[test]
+    fn unknown_var_id_yields_documented_empty_results() {
+        let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 16));
+        let bogus = VarId(u32::MAX);
+        assert_eq!(a.var_metrics(bogus), MetricSet::new(a.profile().domains));
+        assert!(a.thread_ranges(bogus, RangeScope::Program).is_empty());
+        assert!(a
+            .thread_ranges_with_threshold(bogus, RangeScope::Program, 0.0)
+            .is_empty());
+        assert!(a
+            .thread_ranges(bogus, RangeScope::Region(FuncId(0)))
+            .is_empty());
+        assert!(a.var_regions(bogus).is_empty());
+        assert!(a.first_touch_sites(bogus).is_empty());
+        assert_eq!(
+            a.merged_range(&RangeKey {
+                var: bogus,
+                bin: 0,
+                scope: RangeScope::Program
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn interned_lookups_match_linear_scans() {
+        let a = Analyzer::new(bottleneck_profile(MechanismKind::Ibs, 16));
+        let p = a.profile();
+        assert_eq!(a.var_named("z"), p.var_by_name("z").map(|r| r.id));
+        assert_eq!(a.var_named("nope"), None);
+        assert_eq!(
+            a.region_named("CalcForce._omp"),
+            p.func_names
+                .iter()
+                .position(|n| n == "CalcForce._omp")
+                .map(|i| FuncId(i as u32))
+        );
+        assert_eq!(a.region_named("nope"), None);
     }
 }

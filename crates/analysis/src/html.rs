@@ -12,7 +12,6 @@ use crate::pattern::classify;
 use crate::report::{analyze, AnalysisReport};
 use crate::view;
 use numa_profiler::{RangeScope, VarId, LPI_THRESHOLD};
-use numa_sim::FuncId;
 use std::fmt::Write as _;
 
 /// Plot geometry.
@@ -28,7 +27,7 @@ fn esc(s: &str) -> String {
 }
 
 /// Render one address-centric plot as inline SVG: x = thread index,
-/// y = normalized address, one bar per thread spanning [min, max] — the
+/// y = normalized address, one bar per thread spanning \[min,max\] — the
 /// paper's Figure 3 upper-right pane.
 pub fn svg_address_plot(ranges: &[ThreadRange], title: &str) -> String {
     let mut s = String::new();
@@ -181,7 +180,7 @@ pre{background:#f9fafb;border:1px solid #e5e7eb;padding:8px;font-size:12px;overf
             ),
         ));
         if let Some(r) = &a.dominant_region {
-            if let Some(f) = find_region(analyzer, &r.region) {
+            if let Some(f) = analyzer.region_named(&r.region) {
                 let rr = analyzer.thread_ranges(var, RangeScope::Region(f));
                 s.push_str(&svg_address_plot(
                     &rr,
@@ -215,13 +214,8 @@ pre{background:#f9fafb;border:1px solid #e5e7eb;padding:8px;font-size:12px;overf
     s.push_str(&esc(&view::render_cct(analyzer, 0.02)));
     s.push_str("</pre>");
 
-    // Timeline, if traced.
-    if analyzer
-        .profile()
-        .threads
-        .iter()
-        .any(|t| !t.trace.is_empty())
-    {
+    // Timeline, if traced (the engine's index knows; no thread scan).
+    if !analyzer.traced_threads().is_empty() {
         s.push_str("<h2>Remote-fraction timeline</h2><pre>");
         s.push_str(&esc(&view::render_trace_timelines(analyzer, 64)));
         s.push_str("</pre>");
@@ -229,15 +223,6 @@ pre{background:#f9fafb;border:1px solid #e5e7eb;padding:8px;font-size:12px;overf
 
     s.push_str("</body></html>");
     s
-}
-
-fn find_region(analyzer: &Analyzer, name: &str) -> Option<FuncId> {
-    analyzer
-        .profile()
-        .func_names
-        .iter()
-        .position(|n| n == name)
-        .map(|i| FuncId(i as u32))
 }
 
 fn ratio(a: u64, b: u64) -> String {

@@ -1,7 +1,7 @@
 //! Offline analyzer and viewer (§7.2): the `hpcprof` + `hpcviewer` roles.
 //!
 //! * [`Analyzer`] merges per-thread profiles (metric accumulation plus the
-//!   [min,max] reduction for address ranges), computes the derived metrics
+//!   \[min,max\] reduction for address ranges), computes the derived metrics
 //!   of §4 (`lpi_NUMA` via Eq. 2/3, remote fractions, per-domain balance),
 //!   and ranks hot variables.
 //! * [`pattern`] classifies per-thread access-range shapes (blocked

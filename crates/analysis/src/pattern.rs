@@ -4,7 +4,7 @@
 //! distribution fixes a variable (block-wise for the LULESH staircase,
 //! regrouping + parallel first touch for Blackscholes' overlapping
 //! staircase, interleaving for variables every thread sweeps). This module
-//! automates that read: it classifies the per-thread [min,max] pattern and
+//! automates that read: it classifies the per-thread \[min,max\] pattern and
 //! maps each class to the paper's corresponding optimization.
 
 use crate::analyzer::ThreadRange;

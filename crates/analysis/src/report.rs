@@ -6,7 +6,6 @@ use crate::analyzer::{Analyzer, ProgramAnalysis, VarAnalysis};
 use crate::pattern::{classify, recommend, AccessPattern, Recommendation};
 use crate::view;
 use numa_profiler::{RangeScope, VarId, LPI_THRESHOLD};
-use numa_sim::FuncId;
 use serde::Serialize;
 
 /// Guidance for one variable.
@@ -246,7 +245,7 @@ pub fn full_text_report(analyzer: &Analyzer) -> String {
             &format!("{} (whole program)", a.name),
         ));
         if let Some(r) = &a.dominant_region {
-            if let Some(region_id) = find_region(analyzer, &r.region) {
+            if let Some(region_id) = analyzer.region_named(&r.region) {
                 out.push_str(&view::render_address_view(
                     analyzer,
                     a.var,
@@ -258,15 +257,6 @@ pub fn full_text_report(analyzer: &Analyzer) -> String {
         out.push('\n');
     }
     out
-}
-
-fn find_region(analyzer: &Analyzer, name: &str) -> Option<FuncId> {
-    analyzer
-        .profile()
-        .func_names
-        .iter()
-        .position(|n| n == name)
-        .map(|i| FuncId(i as u32))
 }
 
 #[cfg(test)]

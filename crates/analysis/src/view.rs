@@ -9,7 +9,7 @@ use serde::Serialize;
 /// Height (rows) of the ASCII address-range plot.
 const PLOT_ROWS: usize = 16;
 
-/// Render the address-centric view for one variable: per-thread [min,max]
+/// Render the address-centric view for one variable: per-thread \[min,max\]
 /// accessed ranges, normalized to [0, 1] (the paper's upper-right pane in
 /// Figure 3). The x axis is the thread index; each column's filled span is
 /// the thread's accessed range.
@@ -100,11 +100,22 @@ pub fn render_metric_table(rows: &[(String, MetricSet)], domains: usize) -> Stri
     out
 }
 
+/// Shorten `s` to at most `n` *characters*, keeping the tail (the
+/// innermost frames of a call path are the informative part). Counts
+/// and cuts by `char`, never by byte: labels are user-controlled symbol
+/// names and may be multi-byte UTF-8.
 fn truncate(s: &str, n: usize) -> String {
-    if s.len() <= n {
+    let chars = s.chars().count();
+    if chars <= n {
         s.to_string()
     } else {
-        format!("…{}", &s[s.len() - (n - 1)..])
+        let keep = n.saturating_sub(1);
+        let start = s
+            .char_indices()
+            .nth(chars - keep)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        format!("…{}", &s[start..])
     }
 }
 
@@ -114,7 +125,7 @@ fn truncate(s: &str, n: usize) -> String {
 /// inclusive remote cost; subtrees below `min_share` of the program total
 /// are elided.
 pub fn render_cct(analyzer: &Analyzer, min_share: f64) -> String {
-    let cct = analyzer.merged_cct();
+    let cct: &Cct = analyzer.merged_cct();
     let profile = analyzer.profile();
     // Inclusive metrics per node, folded once.
     let n = cct.len();
@@ -140,7 +151,7 @@ pub fn render_cct(analyzer: &Analyzer, min_share: f64) -> String {
     out.push_str(&"-".repeat(92));
     out.push('\n');
     render_cct_node(
-        &cct, &inclusive, profile, ROOT, 0, total, min_share, weight, &mut out,
+        cct, &inclusive, profile, ROOT, 0, total, min_share, weight, &mut out,
     );
     out
 }
@@ -195,13 +206,9 @@ fn render_cct_node(
 /// Render per-thread remote-fraction timelines from trace-enabled
 /// profiles (the paper's future-work item #3).
 pub fn render_trace_timelines(analyzer: &Analyzer, width: usize) -> String {
-    let traces: Vec<(usize, &numa_profiler::Trace)> = analyzer
-        .profile()
-        .threads
-        .iter()
-        .filter(|t| !t.trace.is_empty())
-        .map(|t| (t.tid, &t.trace))
-        .collect();
+    // The engine's index knows which threads carry traces; no per-query
+    // scan over `threads`.
+    let traces: Vec<(usize, &numa_profiler::Trace)> = analyzer.traced_threads();
     if traces.is_empty() {
         return "(no trace data — enable ProfilerConfig::with_trace)\n".to_string();
     }
@@ -286,6 +293,41 @@ mod tests {
         for line in s.lines().skip(1).take(PLOT_ROWS) {
             assert!(line.contains("████"), "row not filled: {line:?}");
         }
+    }
+
+    /// Regression: `truncate` used to slice at a byte offset and
+    /// panicked on multi-byte UTF-8 symbol names.
+    #[test]
+    fn truncate_is_char_boundary_safe() {
+        // 50 snowmen: 50 chars, 150 bytes. Byte slicing at len-39 would
+        // split a code point and panic.
+        let snowmen: String = "☃".repeat(50);
+        let t = truncate(&snowmen, 40);
+        assert!(t.starts_with('…'));
+        assert_eq!(t.chars().count(), 40);
+        assert!(t.ends_with('☃'));
+        // Mixed-width path names keep their tail.
+        let path = format!("main > {} > kernel", "región_π".repeat(8));
+        let t = truncate(&path, 40);
+        assert_eq!(t.chars().count(), 40);
+        assert!(t.ends_with("kernel"));
+        // Short strings (by chars, even if long in bytes) are untouched.
+        let short = "πρöfïlé";
+        assert_eq!(truncate(short, 40), short);
+        assert_eq!(truncate("", 4), "");
+    }
+
+    /// Regression: the metric pane must render rows with non-ASCII
+    /// labels longer than the column width (this panicked before the
+    /// char-boundary fix).
+    #[test]
+    fn metric_table_renders_non_ascii_labels() {
+        let mut m = MetricSet::new(1);
+        m.m_local = 1;
+        let label = "αβγδε_ζηθικ".repeat(6); // 66 chars, multi-byte
+        let s = render_metric_table(&[(label, m)], 1);
+        assert!(s.contains('…'));
+        assert!(s.contains("ζηθικ"));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Engine ablation: warm indexed queries vs. the pre-engine scan path.
+//!
+//! The attribution engine builds one columnar index per profile (sorted
+//! per-variable metric columns, merged range cells, thread/bin rows, a
+//! first-touch index, the merged CCT) and answers every analyzer query
+//! from it. Before the engine, each query re-walked all threads. This
+//! bench measures, on a 64-thread LULESH profile:
+//!
+//! * `index_build` — the one-time cost of `Engine::new` (cold).
+//! * `engine/...` — warm per-query cost through the index.
+//! * `scan/...` — the frozen pre-engine scan path (`numa_engine::oracle`),
+//!   per query.
+//!
+//! A headline summary printed at the end reports the measured warm
+//! speedup for the whole query mix; the index must win by ≥10×.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use numa_engine::{oracle, Engine};
+use numa_machine::{Machine, MachinePreset};
+use numa_profiler::{NumaProfile, ProfilerConfig, RangeScope};
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_sim::ExecMode;
+use numa_workloads::{run_profiled, Lulesh, LuleshVariant};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Threads in the synthetic profile. IBM POWER7 exposes 128 CPUs, so a
+/// 64-thread run binds without oversubscription.
+const THREADS: usize = 64;
+
+fn profile_64_threads() -> NumaProfile {
+    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 16));
+    let (_, _, profile) = run_profiled(
+        &Lulesh::new(32, 2, LuleshVariant::Baseline),
+        Machine::from_preset(MachinePreset::IbmPower7),
+        THREADS,
+        ExecMode::Sequential,
+        config,
+    );
+    assert_eq!(profile.threads.len(), THREADS);
+    profile
+}
+
+/// One representative query mix, via the engine index.
+fn engine_mix(e: &Engine) -> usize {
+    let z = e.var_named("z").expect("z exists");
+    let region = e
+        .func_named("CalcForceForNodes._omp")
+        .expect("region exists");
+    let m_local = e.var_metrics(z).map(|m| m.m_local).unwrap_or(0);
+    let ranges = e.thread_ranges(z, RangeScope::Program, 0.1);
+    let region_ranges = e.thread_ranges(z, RangeScope::Region(region), 0.1);
+    let regions = e.var_regions(z);
+    let touches = e.first_touch_sites(z);
+    let cct = e.merged_cct();
+    m_local as usize
+        + ranges.len()
+        + region_ranges.len()
+        + regions.len()
+        + touches.len()
+        + cct.len()
+}
+
+/// The same mix through the frozen pre-engine scan path.
+fn scan_mix(p: &NumaProfile) -> usize {
+    let z = oracle::var_named(p, "z").expect("z exists");
+    let region = oracle::func_named(p, "CalcForceForNodes._omp").expect("region exists");
+    let m = oracle::var_metrics(p, z);
+    let ranges = oracle::thread_ranges(p, z, RangeScope::Program, 0.1);
+    let region_ranges = oracle::thread_ranges(p, z, RangeScope::Region(region), 0.1);
+    let regions = oracle::var_regions(p, z);
+    let touches = oracle::first_touch_sites(p, z);
+    let cct = oracle::merged_cct(p);
+    m.m_local as usize
+        + ranges.len()
+        + region_ranges.len()
+        + regions.len()
+        + touches.len()
+        + cct.len()
+}
+
+fn bench_engine_queries(c: &mut Criterion) {
+    let profile = Arc::new(profile_64_threads());
+    let engine = Engine::new(Arc::clone(&profile));
+    let z = engine.var_named("z").expect("z exists");
+
+    let mut group = c.benchmark_group("engine_queries");
+    group.sample_size(10);
+
+    group.bench_function("index_build", |b| {
+        b.iter(|| Engine::new(black_box(Arc::clone(&profile))))
+    });
+
+    group.bench_function("engine/var_metrics", |b| {
+        b.iter(|| black_box(engine.var_metrics(z)))
+    });
+    group.bench_function("scan/var_metrics", |b| {
+        b.iter(|| black_box(oracle::var_metrics(&profile, z)))
+    });
+
+    group.bench_function("engine/thread_ranges", |b| {
+        b.iter(|| black_box(engine.thread_ranges(z, RangeScope::Program, 0.1)))
+    });
+    group.bench_function("scan/thread_ranges", |b| {
+        b.iter(|| black_box(oracle::thread_ranges(&profile, z, RangeScope::Program, 0.1)))
+    });
+
+    group.bench_function("engine/var_regions", |b| {
+        b.iter(|| black_box(engine.var_regions(z)))
+    });
+    group.bench_function("scan/var_regions", |b| {
+        b.iter(|| black_box(oracle::var_regions(&profile, z)))
+    });
+
+    group.bench_function("engine/first_touch_sites", |b| {
+        b.iter(|| black_box(engine.first_touch_sites(z)))
+    });
+    group.bench_function("scan/first_touch_sites", |b| {
+        b.iter(|| black_box(oracle::first_touch_sites(&profile, z)))
+    });
+
+    group.bench_function("engine/merged_cct", |b| {
+        b.iter(|| black_box(engine.merged_cct().len()))
+    });
+    group.bench_function("scan/merged_cct", |b| {
+        b.iter(|| black_box(oracle::merged_cct(&profile).len()))
+    });
+    group.finish();
+
+    // Headline: warm query-mix speedup, measured outside criterion so the
+    // line prints in both bench and `--test` smoke runs.
+    let reps: u32 = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(engine_mix(&engine));
+    }
+    let warm = t0.elapsed();
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        black_box(scan_mix(&profile));
+    }
+    let scan = t1.elapsed();
+    let speedup = scan.as_secs_f64() / warm.as_secs_f64().max(1e-12);
+    println!(
+        "headline: {THREADS}-thread profile, query mix ×{reps}: \
+         engine {:?}, scan path {:?} — {speedup:.1}× faster warm",
+        warm / reps,
+        scan / reps
+    );
+    assert!(
+        speedup >= 10.0,
+        "warm indexed queries must beat the scan path by ≥10× (got {speedup:.1}×)"
+    );
+}
+
+criterion_group!(benches, bench_engine_queries);
+criterion_main!(benches);

@@ -14,7 +14,6 @@ use numa_analysis::{
     render_trace_timelines, Analyzer,
 };
 use numa_profiler::{NumaProfile, RangeScope};
-use numa_sim::FuncId;
 use numa_tools::{die, Args};
 
 const USAGE: &str = "\
@@ -59,15 +58,10 @@ fn main() {
                 }
             }
             "regions" => {
-                for (i, name) in analyzer.profile().func_names.iter().enumerate() {
-                    // Only names that appear as region scopes in any range.
-                    let f = FuncId(i as u32);
-                    let used = analyzer.profile().threads.iter().any(|t| {
-                        t.ranges
-                            .iter()
-                            .any(|(k, _)| k.scope == RangeScope::Region(f))
-                    });
-                    if used {
+                // Names that appear as region scopes in any range — the
+                // engine's index already knows; no thread scan.
+                for f in analyzer.engine().sampled_regions() {
+                    if let Some(name) = analyzer.profile().func_names.get(f.0 as usize) {
                         println!("{name}");
                     }
                 }
@@ -80,31 +74,21 @@ fn main() {
     let var_name = args
         .get("var")
         .unwrap_or_else(|| die(USAGE, "--var is required"));
-    let var = analyzer
-        .profile()
-        .var_by_name(var_name)
-        .unwrap_or_else(|| {
-            die(
-                USAGE,
-                &format!("no variable named {var_name:?} (try --list vars)"),
-            )
-        })
-        .id;
+    let var = analyzer.var_named(var_name).unwrap_or_else(|| {
+        die(
+            USAGE,
+            &format!("no variable named {var_name:?} (try --list vars)"),
+        )
+    });
     let scope = match args.get("region") {
         None => RangeScope::Program,
         Some(region) => {
-            let f = analyzer
-                .profile()
-                .func_names
-                .iter()
-                .position(|n| n == region)
-                .map(|i| FuncId(i as u32))
-                .unwrap_or_else(|| {
-                    die(
-                        USAGE,
-                        &format!("no region named {region:?} (try --list regions)"),
-                    )
-                });
+            let f = analyzer.region_named(region).unwrap_or_else(|| {
+                die(
+                    USAGE,
+                    &format!("no region named {region:?} (try --list regions)"),
+                )
+            });
             RangeScope::Region(f)
         }
     };

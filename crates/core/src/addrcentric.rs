@@ -1,6 +1,6 @@
 //! Address-centric attribution (§5.2).
 //!
-//! For every sampled access the profiler updates the [min, max] address
+//! For every sampled access the profiler updates the \[min,max\] address
 //! bounds the accessing thread has touched — per variable *bin* (so hot
 //! sub-ranges are distinguishable) and per scope (whole program, plus the
 //! innermost parallel region, so an analyst can drill from Figure 4's
@@ -29,7 +29,7 @@ pub struct RangeKey {
     pub scope: RangeScope,
 }
 
-/// Accumulated [min, max] bounds plus weights.
+/// Accumulated \[min,max\] bounds plus weights.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RangeStat {
     pub min_addr: u64,
@@ -63,7 +63,7 @@ impl RangeStat {
         self.latency_remote += latency_remote;
     }
 
-    /// The [min, max] merge used when combining thread profiles (§7.2's
+    /// The \[min,max\] merge used when combining thread profiles (§7.2's
     /// customized reduction).
     pub fn merge(&mut self, other: &RangeStat) {
         self.min_addr = self.min_addr.min(other.min_addr);

@@ -13,7 +13,7 @@
 //!   sampled addresses to heap/static/stack variables, heap variables
 //!   attributed to their full allocation call path.
 //! * **Address-centric attribution** (§5.2) — [`AddressRanges`]: per-thread
-//!   per-variable-bin [min,max] accessed ranges, scoped to the whole program
+//!   per-variable-bin \[min,max\] accessed ranges, scoped to the whole program
 //!   and to individual parallel regions.
 //! * **First-touch pinpointing** (§6) — page-protection traps recorded as
 //!   [`FirstTouchRecord`]s with both code- and data-centric attribution.

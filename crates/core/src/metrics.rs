@@ -117,7 +117,7 @@ impl MetricSet {
 
     /// Merge another scope's metrics into this one (thread merging and
     /// subtree aggregation both use plain accumulation; only address ranges
-    /// need [min,max] reduction, which lives in the range structures).
+    /// need \[min,max\] reduction, which lives in the range structures).
     pub fn merge(&mut self, other: &MetricSet) {
         self.m_local += other.m_local;
         self.m_remote += other.m_remote;

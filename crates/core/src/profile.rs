@@ -29,7 +29,7 @@ pub struct ThreadProfile {
     pub numa_events: u64,
     /// Data-centric metrics per variable.
     pub var_metrics: Vec<(VarId, MetricSet)>,
-    /// Address-centric [min,max] ranges per (variable, bin, scope).
+    /// Address-centric \[min,max\] ranges per (variable, bin, scope).
     pub ranges: Vec<(RangeKey, RangeStat)>,
     /// Time series of cumulative NUMA counters (empty unless tracing was
     /// enabled). Optional in the on-disk format for compatibility with

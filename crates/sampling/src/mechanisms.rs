@@ -1,6 +1,6 @@
 //! The six mechanism implementations.
 //!
-//! All mechanisms are built from a [`MechanismConfig`](crate::config::MechanismConfig),
+//! All mechanisms are built from a [`MechanismConfig`],
 //! which carries the sampling period / thresholds (Table 1) and the overhead
 //! constants (calibrated so Table 2's overhead column reproduces).
 

@@ -4,18 +4,24 @@
 //! Merging *across runs* differs from the per-run thread merge in
 //! `numa_analysis::Analyzer` in two ways. First, `VarId`s are not stable
 //! across runs (allocation order assigns them), so variables are keyed
-//! by source name. Second, heap addresses are not comparable across
-//! runs, so accessed ranges are normalized to each run's variable extent
-//! *before* the [min,max] reduction (§7.2) is applied across runs.
+//! by source name — interned once in a shared
+//! [`SymbolTable`](numa_engine::SymbolTable) so partial merges compare
+//! `u32` symbols, not strings. Second, heap addresses are not comparable
+//! across runs, so accessed ranges are normalized to each run's variable
+//! extent *before* the [min,max] reduction (§7.2) is applied across
+//! runs.
 //!
-//! The merge itself reuses the analyzer's shape: a rayon `par_iter`
-//! producing one partial summary per profile, then an associative
-//! `reduce` that merges partials pairwise.
+//! Each run's contribution is read straight off its
+//! [`Engine`](numa_engine::Engine) index — program totals, per-variable
+//! columns, and merged Program-scope ranges are precomputed there, so
+//! summarizing a run never re-walks its threads. The cross-run merge
+//! itself is [`numa_engine::par_fold`]: one partial per profile, reduced
+//! pairwise.
 
 use crate::StoredProfile;
+use numa_engine::{par_fold, Symbol, SymbolTable};
 use numa_profiler::{MetricSet, RangeScope, RangeStat};
 use numa_sim::VarKind;
-use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,7 +38,7 @@ pub struct VarAggregate {
     pub bytes_max: u64,
     /// Metrics accumulated over all runs.
     pub metrics: MetricSet,
-    /// Normalized accessed range pooled across runs under the [min,max]
+    /// Normalized accessed range pooled across runs under the \[min,max\]
     /// reduction: 0.0 = first byte of the variable, 1.0 = last. `None`
     /// when no run recorded address-centric data for the variable.
     pub coverage: Option<(f64, f64)>,
@@ -53,11 +59,12 @@ pub struct CrossRunAggregate {
     pub vars: Vec<VarAggregate>,
 }
 
-/// Per-profile partial: what one run contributes to the pool.
+/// Per-profile partial: what one run contributes to the pool. Variables
+/// are keyed by interned symbol so the pairwise merge hashes `u32`s.
 struct Partial {
     totals: MetricSet,
     domains: usize,
-    vars: HashMap<String, VarAggregate>,
+    vars: HashMap<Symbol, VarAggregate>,
 }
 
 impl Partial {
@@ -72,8 +79,8 @@ impl Partial {
     fn absorb(mut self, other: Partial) -> Self {
         self.totals.merge(&other.totals);
         self.domains = self.domains.max(other.domains);
-        for (name, v) in other.vars {
-            match self.vars.get_mut(&name) {
+        for (sym, v) in other.vars {
+            match self.vars.get_mut(&sym) {
                 Some(acc) => {
                     acc.runs_seen += v.runs_seen;
                     acc.bytes_max = acc.bytes_max.max(v.bytes_max);
@@ -84,7 +91,7 @@ impl Partial {
                     };
                 }
                 None => {
-                    self.vars.insert(name, v);
+                    self.vars.insert(sym, v);
                 }
             }
         }
@@ -92,49 +99,50 @@ impl Partial {
     }
 }
 
-/// Summarize one run. Variables whose record is missing from the
-/// profile's table (malformed input) are skipped, mirroring the
-/// analyzer's graceful-degradation contract.
-fn summarize(stored: &StoredProfile) -> Partial {
-    let p = &stored.profile;
-    let mut totals = MetricSet::new(p.domains);
-    let mut per_var: HashMap<String, VarAggregate> = HashMap::new();
-    // Program-scope accessed range per VarId, [min,max]-reduced over
-    // threads and bins first (addresses are comparable within one run).
-    let mut ranges: HashMap<u32, RangeStat> = HashMap::new();
-    for t in &p.threads {
-        totals.merge(&t.totals);
-        for (v, m) in &t.var_metrics {
-            let Some(rec) = p.var(*v) else { continue };
-            per_var
-                .entry(rec.name.clone())
-                .and_modify(|acc| acc.metrics.merge(m))
-                .or_insert_with(|| VarAggregate {
-                    name: rec.name.clone(),
-                    kind: rec.kind,
-                    runs_seen: 1,
-                    bytes_max: rec.bytes,
-                    metrics: m.clone(),
-                    coverage: None,
-                });
-        }
-        for (k, s) in &t.ranges {
-            if k.scope == RangeScope::Program {
-                ranges
-                    .entry(k.var.0)
-                    .and_modify(|acc| acc.merge(s))
-                    .or_insert(*s);
-            }
-        }
+/// Summarize one run from its engine index: totals, per-variable
+/// columns, and Program-scope coverage are all precomputed — no thread
+/// walk. Variables whose record is missing from the profile's table
+/// (malformed input) are skipped, mirroring the analyzer's
+/// graceful-degradation contract.
+fn summarize(stored: &StoredProfile, names: &SymbolTable) -> Partial {
+    let engine = stored.engine();
+    let idx = engine.index();
+    let p = engine.profile();
+    let mut vars: HashMap<Symbol, VarAggregate> = HashMap::new();
+    for (v, m) in idx.var_columns() {
+        let Some(rec) = p.var(*v) else { continue };
+        let sym = names.intern(&rec.name);
+        vars.entry(sym)
+            .and_modify(|acc| acc.metrics.merge(m))
+            .or_insert_with(|| VarAggregate {
+                name: rec.name.clone(),
+                kind: rec.kind,
+                runs_seen: 1,
+                bytes_max: rec.bytes,
+                metrics: m.clone(),
+                coverage: None,
+            });
     }
-    for (vid, s) in ranges {
-        let Some(rec) = p.var(numa_profiler::VarId(vid)) else {
-            continue;
-        };
+    // Program-scope accessed range per variable, [min,max]-reduced over
+    // threads and bins by the index (addresses are comparable within one
+    // run), then normalized to the run's extent.
+    for rec in &p.vars {
+        let merged = engine
+            .ranges_of(rec.id)
+            .iter()
+            .filter(|(k, _)| k.scope == RangeScope::Program)
+            .fold(None::<RangeStat>, |acc, (_, s)| match acc {
+                Some(mut a) => {
+                    a.merge(s);
+                    Some(a)
+                }
+                None => Some(*s),
+            });
+        let Some(s) = merged else { continue };
         let extent = rec.bytes.max(1) as f64;
         let lo = s.min_addr.saturating_sub(rec.addr) as f64 / extent;
         let hi = s.max_addr.saturating_sub(rec.addr) as f64 / extent;
-        if let Some(acc) = per_var.get_mut(&rec.name) {
+        if let Some(acc) = vars.get_mut(&names.intern(&rec.name)) {
             acc.coverage = Some(match acc.coverage {
                 Some((l, h)) => (l.min(lo), h.max(hi)),
                 None => (lo, hi),
@@ -142,18 +150,22 @@ fn summarize(stored: &StoredProfile) -> Partial {
         }
     }
     Partial {
-        totals,
+        totals: idx.totals().clone(),
         domains: p.domains,
-        vars: per_var,
+        vars,
     }
 }
 
-/// Merge every profile in the set — the store's batch analysis step.
+/// Merge every profile in the set — the store's batch analysis step,
+/// expressed as one [`par_fold`] over the engines.
 pub fn aggregate(profiles: &[Arc<StoredProfile>]) -> CrossRunAggregate {
-    let merged = profiles
-        .par_iter()
-        .map(|sp| summarize(sp))
-        .reduce(Partial::empty, Partial::absorb);
+    let names = SymbolTable::new();
+    let merged = par_fold(
+        profiles,
+        Partial::empty,
+        |sp| summarize(sp, &names),
+        Partial::absorb,
+    );
     let mut vars: Vec<VarAggregate> = merged.vars.into_values().collect();
     vars.sort_by(|a, b| {
         (b.metrics.latency_remote, b.metrics.m_remote)

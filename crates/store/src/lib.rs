@@ -12,8 +12,8 @@
 //!   parsed in parallel with rayon and stored under the FNV-1a hash of
 //!   its canonical serialization, so duplicate runs dedup to one copy.
 //! * **Cross-run merging** ([`ProfileStore::aggregate`]): pooled
-//!   [`MetricSet`]s, per-variable totals keyed by name (VarIds are not
-//!   stable across runs), and normalized [min,max]-reduced address
+//!   [`MetricSet`](numa_profiler::MetricSet)s, per-variable totals keyed by name (VarIds are not
+//!   stable across runs), and normalized \[min,max\]-reduced address
 //!   coverage — the §7.2 reduction lifted from threads to runs.
 //! * **Memoized queries** ([`ProfileStore::query`]): derived artifacts
 //!   are cached in a sharded LRU keyed by `(scope hash, query)` with
@@ -32,6 +32,7 @@ pub use cache::{CacheStats, MemoCache};
 pub use hash::{fnv1a, mix, ProfileId};
 
 use numa_analysis::{analyze, diff, full_text_report, render_cct, Analyzer};
+use numa_engine::Engine;
 use numa_profiler::{NumaProfile, RangeScope};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -39,7 +40,7 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Store-level failures. Parse failures during batch ingestion do not
 /// abort the batch — they are collected per input in [`BatchReport`].
@@ -101,9 +102,35 @@ pub struct StoredProfile {
     /// Where the profile came from (file name, CLI label, ...). Purely
     /// informational; identity is `id`.
     pub label: String,
-    pub profile: NumaProfile,
+    /// The parsed measurement, behind an `Arc` so analyzers and the
+    /// attribution engine share the one stored copy.
+    pub profile: Arc<NumaProfile>,
     /// Size of the canonical serialization, for footprint accounting.
     pub json_bytes: usize,
+    /// Attribution engine (interned symbols + columnar index), built on
+    /// first query and shared by every analyzer handed out afterwards.
+    engine: OnceLock<Arc<Engine>>,
+}
+
+impl StoredProfile {
+    fn new(id: ProfileId, label: String, profile: NumaProfile, json_bytes: usize) -> Self {
+        StoredProfile {
+            id,
+            label,
+            profile: Arc::new(profile),
+            json_bytes,
+            engine: OnceLock::new(),
+        }
+    }
+
+    /// The shared [`Engine`] over this profile. The index is built at
+    /// most once; callers get a cheap `Arc` clone, never a profile copy.
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(
+            self.engine
+                .get_or_init(|| Arc::new(Engine::new(Arc::clone(&self.profile)))),
+        )
+    }
 }
 
 /// One row of [`ProfileStore::entries`]: the listing-relevant facts
@@ -444,12 +471,12 @@ impl ProfileStore {
     /// before this returns.
     pub fn ingest_profile(&self, label: &str, profile: NumaProfile) -> (ProfileId, bool) {
         let (id, canonical) = ProfileId::of(&profile);
-        let sp = Arc::new(StoredProfile {
+        let sp = Arc::new(StoredProfile::new(
             id,
-            label: label.to_string(),
+            label.to_string(),
             profile,
-            json_bytes: canonical.len(),
-        });
+            canonical.len(),
+        ));
         let added = self.insert(sp, &canonical);
         (id, added)
     }
@@ -482,15 +509,8 @@ impl ProfileStore {
             .map(|(label, json)| match NumaProfile::from_json(json) {
                 Ok(profile) => {
                     let (id, canonical) = ProfileId::of(&profile);
-                    Ok((
-                        Arc::new(StoredProfile {
-                            id,
-                            label: label.clone(),
-                            profile,
-                            json_bytes: canonical.len(),
-                        }),
-                        canonical,
-                    ))
+                    let sp = StoredProfile::new(id, label.clone(), profile, canonical.len());
+                    Ok((Arc::new(sp), canonical))
                 }
                 Err(e) => Err((label.clone(), e.to_string())),
             })
@@ -663,9 +683,9 @@ impl ProfileStore {
             .get_or_try_insert((scope, q.clone()), || self.build(&q))
     }
 
-    /// Uncached artifact construction. Per-profile analyses clone the
-    /// stored profile into an [`Analyzer`]; that cost (plus the analysis
-    /// itself) is exactly what the memo cache amortizes.
+    /// Uncached artifact construction. Per-profile analyses borrow the
+    /// stored profile through its shared [`Engine`] — no profile is ever
+    /// cloned; the memo cache amortizes the analysis itself.
     fn build(&self, q: &Query) -> Result<Artifact, StoreError> {
         match q {
             Query::ReportJson(id) => {
@@ -689,9 +709,7 @@ impl ProfileStore {
             Query::AddressView { profile, var } => {
                 let a = self.analyzer(*profile)?;
                 let id = a
-                    .profile()
-                    .var_by_name(var)
-                    .map(|rec| rec.id)
+                    .var_named(var)
                     .ok_or_else(|| StoreError::UnknownVariable(var.clone()))?;
                 Ok(Artifact::Text(numa_analysis::export_address_view(
                     &a,
@@ -722,7 +740,7 @@ impl ProfileStore {
 
     fn analyzer(&self, id: ProfileId) -> Result<Analyzer, StoreError> {
         let sp = self.get(id).ok_or(StoreError::UnknownProfile(id))?;
-        Ok(Analyzer::new(sp.profile.clone()))
+        Ok(Analyzer::from_engine(sp.engine()))
     }
 
     fn snapshot(&self) -> Result<Vec<Arc<StoredProfile>>, StoreError> {

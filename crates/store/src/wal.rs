@@ -23,7 +23,7 @@
 //!
 //! ## Recovery contract
 //!
-//! [`scan_records`] validates records in order and stops at the first
+//! [`scan_bytes`] validates records in order and stops at the first
 //! torn or corrupt one (bad header, short read, checksum mismatch,
 //! invalid UTF-8, inconsistent lengths). Everything before that point is
 //! returned; everything after is reported as truncated tail bytes, never

@@ -13,7 +13,7 @@
 //!   view looks irregular, Figure 4/6) while the dominant relax region has
 //!   a regular blocked pattern (Figure 5/7);
 //! * a matvec whose threads sweep the whole `u`/`rhs` vectors (the paper's
-//!   "other two [variables] show that each thread accesses the whole
+//!   "other two \[variables\] show that each thread accesses the whole
 //!   range, leading to … interleaved page allocation").
 //!
 //! The paper reports its guided mix (block-wise for the three blockable
