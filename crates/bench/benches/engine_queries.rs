@@ -147,9 +147,18 @@ fn bench_engine_queries(c: &mut Criterion) {
         warm / reps,
         scan / reps
     );
+    // Floor is env-overridable: a starved 1-CPU CI container schedules
+    // the two timed loops against arbitrary neighbors and the true ≥10×
+    // local ratio can flake below it (set NUMA_ENGINE_MIN_SPEEDUP=2
+    // there).
+    let floor = std::env::var("NUMA_ENGINE_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(10.0);
     assert!(
-        speedup >= 10.0,
-        "warm indexed queries must beat the scan path by ≥10× (got {speedup:.1}×)"
+        speedup >= floor,
+        "warm indexed queries must beat the scan path by ≥{floor}× (got {speedup:.1}×; \
+         override with NUMA_ENGINE_MIN_SPEEDUP on starved CI hosts)"
     );
 }
 

@@ -4,12 +4,23 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use numa_machine::{Machine, MachinePreset};
-use numa_profiler::ProfilerConfig;
+use numa_profiler::{NumaProfile, ProfilerConfig};
 use numa_sampling::{MechanismConfig, MechanismKind};
 use numa_sim::ExecMode;
-use numa_store::{PersistOptions, ProfileStore, Query};
+use numa_store::{PersistOptions, ProfileStore, Query, StoreConfig};
 use numa_workloads::{run_profiled, Blackscholes, BlackscholesVariant};
 use std::time::Instant;
+
+/// Headline-ratio floor, overridable for starved CI containers where a
+/// cached lookup and a cold aggregate can land within the same noisy
+/// timer quantum (set `NUMA_STORE_MIN_SPEEDUP=2` there). Defaults to
+/// the ≥10× the memo cache delivers on real hardware.
+fn min_speedup() -> f64 {
+    std::env::var("NUMA_STORE_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0)
+}
 
 const CORPUS: usize = 32;
 
@@ -170,14 +181,114 @@ fn bench_queries(c: &mut Criterion) {
     let warm = timed(&mut || {
         black_box(store.aggregate().unwrap());
     });
+    let speedup = cold / warm.max(1e-9);
     println!(
         "store_query/summary: cold {:.3} ms, warm {:.6} ms — ×{:.0} speedup over {} profiles",
         cold * 1e3,
         warm * 1e3,
-        cold / warm.max(1e-9),
+        speedup,
         CORPUS
+    );
+    let floor = min_speedup();
+    assert!(
+        speedup >= floor,
+        "warm cached aggregate must beat the cold path by ≥{floor}× (got {speedup:.1}×; \
+         override with NUMA_STORE_MIN_SPEEDUP on starved CI hosts)"
     );
 }
 
-criterion_group!(benches, bench_ingest, bench_durable_ingest, bench_queries);
+/// The tentpole's measurement: 4 OS threads hammering one store with a
+/// mixed ingest + pooled-query + cache-clear workload, against a
+/// single-shard store (the old one-`RwLock` layout) and the default
+/// 8-shard layout. On multi-CPU hardware the sharded row wins because
+/// writers to different shards no longer serialize; on a 1-CPU host the
+/// rows read flat (the threads time-slice one core) — the printed
+/// contended-lock counts still show the single lock being fought over.
+fn bench_contention(c: &mut Criterion) {
+    const WORKERS: usize = 4;
+    let parsed: Vec<(String, NumaProfile)> = corpus()
+        .into_iter()
+        .map(|(label, json)| (label, NumaProfile::from_json(&json).expect("corpus parses")))
+        .collect();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("store_contention/note: {cpus} CPU(s) visible to the benchmark");
+
+    // One full episode: every worker ingests its slice of the corpus,
+    // issuing a pooled aggregate every 4th ingest and a cache clear
+    // every 16th — the daemon's concurrent steady-state in miniature.
+    let episode = |store: &ProfileStore| {
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                let parsed = &parsed;
+                s.spawn(move || {
+                    for (i, (label, profile)) in parsed.iter().enumerate().skip(w).step_by(WORKERS)
+                    {
+                        store.ingest_profile(label, profile.clone());
+                        if i % 16 == 0 {
+                            store.clear_cache();
+                        }
+                        if i % 4 == 0 {
+                            black_box(store.aggregate().expect("non-empty"));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), CORPUS);
+    };
+
+    let mut group = c.benchmark_group("store_contention");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CORPUS as u64));
+    for shards in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let store = ProfileStore::with_config(StoreConfig {
+                    shards,
+                    ..StoreConfig::default()
+                });
+                episode(&store);
+                store.len()
+            })
+        });
+    }
+    group.finish();
+
+    // Headline: the same episode timed directly, with the contended
+    // lock-acquisition counts that explain the ratio.
+    let mut timings = Vec::new();
+    for shards in [1usize, 8] {
+        let store = ProfileStore::with_config(StoreConfig {
+            shards,
+            ..StoreConfig::default()
+        });
+        let t = Instant::now();
+        episode(&store);
+        let elapsed = t.elapsed().as_secs_f64();
+        let (reads, writes) = store.shard_stats().iter().fold((0u64, 0u64), |(r, w), s| {
+            (r + s.read_contended, w + s.write_contended)
+        });
+        println!(
+            "store_contention/summary: {shards} shard(s): {:.3} ms \
+             ({} contended read(s), {} contended write(s))",
+            elapsed * 1e3,
+            reads,
+            writes
+        );
+        timings.push(elapsed);
+    }
+    println!(
+        "store_contention/summary: sharded over single-lock: ×{:.2} \
+         ({WORKERS} workers, {cpus} CPU(s))",
+        timings[0] / timings[1].max(1e-9)
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_durable_ingest,
+    bench_queries,
+    bench_contention
+);
 criterion_main!(benches);

@@ -18,7 +18,7 @@
 //! a final stats snapshot to stderr.
 
 use numa_server::{Server, ServerConfig};
-use numa_store::{PersistOptions, ProfileStore};
+use numa_store::{PersistOptions, ProfileStore, StoreConfig};
 use numa_tools::{die, Args};
 use std::path::Path;
 use std::sync::Arc;
@@ -35,7 +35,8 @@ usage: hpcd-sim [--listen ADDR]          (default 127.0.0.1:7701; port 0 = ephem
                 [--max-frame-kib N]      (frame payload cap; default 4096)
                 [--read-timeout-ms N]    (per-connection; default 10000)
                 [--write-timeout-ms N]   (per-connection; default 10000)
-                [--cache-capacity N]     (memoized artifacts; default 256)";
+                [--cache-capacity N]     (memoized artifacts; default 256)
+                [--shards N]             (store shard count, rounded to a power of two; default 8)";
 
 fn main() {
     let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
@@ -51,13 +52,19 @@ fn main() {
         "read-timeout-ms",
         "write-timeout-ms",
         "cache-capacity",
+        "shards",
     ])
     .unwrap_or_else(|e| die(USAGE, &e));
 
     let listen = args.get_or("listen", "127.0.0.1:7701");
-    let cache_capacity: usize = args
-        .get_parsed("cache-capacity", 256)
-        .unwrap_or_else(|e| die(USAGE, &e));
+    let store_config = StoreConfig {
+        cache_capacity: args
+            .get_parsed("cache-capacity", 256)
+            .unwrap_or_else(|e| die(USAGE, &e)),
+        shards: args
+            .get_parsed("shards", ProfileStore::DEFAULT_SHARDS)
+            .unwrap_or_else(|e| die(USAGE, &e)),
+    };
     let config = ServerConfig {
         workers: args
             .get_parsed("workers", 4)
@@ -81,7 +88,7 @@ fn main() {
     };
 
     let store = match args.get("data-dir") {
-        None => Arc::new(ProfileStore::with_cache_capacity(cache_capacity)),
+        None => Arc::new(ProfileStore::with_config(store_config)),
         Some(dir) => {
             let opts = PersistOptions {
                 snapshot_wal_bytes: args
@@ -94,7 +101,7 @@ fn main() {
                     other => die(USAGE, &format!("--fsync-wal must be on|off, got {other:?}")),
                 },
             };
-            let store = ProfileStore::open_durable(Path::new(dir), cache_capacity, opts)
+            let store = ProfileStore::open_durable_config(Path::new(dir), store_config, opts)
                 .unwrap_or_else(|e| die(USAGE, &format!("cannot open data dir {dir}: {e}")));
             let p = store.persist_stats();
             eprintln!(

@@ -90,20 +90,17 @@ fn main() {
     let output = match args.get_or("cmd", "stats") {
         "stats" => store.stats().render(),
         "list" => {
+            // entries() takes a consistent per-shard snapshot of cheap
+            // (id, label, counts) rows — one pass, no re-lookup races,
+            // no profile contents cloned.
             let mut out = String::new();
-            for id in store.ids() {
-                // The store is shared infrastructure now (hpcd-sim serves
-                // it concurrently), so an id observed by ids() may be gone
-                // by the time we fetch it; skip rather than panic.
-                let Some(sp) = store.get(id) else {
-                    eprintln!("hpcstore-sim: warning: profile {id} disappeared while listing");
-                    continue;
-                };
+            for e in store.entries() {
                 out.push_str(&format!(
-                    "{id}  {:<32} {} thread(s), {} KiB\n",
-                    sp.label,
-                    sp.profile.threads.len(),
-                    sp.json_bytes / 1024
+                    "{}  {:<32} {} thread(s), {} KiB\n",
+                    e.id,
+                    e.label,
+                    e.threads,
+                    e.json_bytes / 1024
                 ));
             }
             out

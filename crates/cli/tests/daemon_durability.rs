@@ -164,3 +164,68 @@ fn sigkilled_daemon_recovers_acknowledged_ingests() {
 
     std::fs::remove_dir_all(&data_dir).ok();
 }
+
+/// Kill-during-group-commit: several clients ingest concurrently (their
+/// appends share group commits on the persister thread), the daemon is
+/// SIGKILLed the moment enough acks are in, and a restart must hold
+/// every profile whose ingest was acknowledged — the ack ⇒
+/// flushed-to-the-OS contract, under the batched commit path.
+#[test]
+fn sigkill_during_group_commit_keeps_every_acknowledged_ingest() {
+    let data_dir = scratch("group-commit");
+    const CLIENTS: usize = 4;
+
+    let corpus: Vec<(String, String)> = (1..=CLIENTS)
+        .map(|r| (format!("run-{r}"), profile(r).to_json()))
+        .collect();
+
+    let daemon = spawn_daemon(&data_dir);
+    // Each client ingests one profile on its own connection, all in
+    // flight at once so the persister sees a multi-record batch.
+    let acked: Vec<(String, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = corpus
+            .iter()
+            .map(|(label, json)| {
+                let addr = &daemon.addr;
+                s.spawn(move || {
+                    let mut c = Client::connect(addr as &str).expect("connect");
+                    let (id, added) = c.ingest(label, json).expect("ingest");
+                    assert!(added);
+                    (id, label.clone())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    assert_eq!(acked.len(), CLIENTS);
+
+    // SIGKILL immediately — no shutdown, no flush, no drain.
+    let mut child = daemon.child;
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+
+    // Restart: every acknowledged id must resolve.
+    let mut daemon = spawn_daemon(&data_dir);
+    {
+        let mut c = Client::connect(&daemon.addr as &str).expect("reconnect");
+        let stats = c.server_stats().expect("server stats");
+        assert_eq!(stats.store_profiles, CLIENTS, "{stats:?}");
+        assert_eq!(
+            stats.snapshot_records_loaded + stats.wal_records_replayed,
+            CLIENTS as u64,
+            "{stats:?}"
+        );
+        for (id, label) in &acked {
+            let (rid, rlabel) = c.resolve(id).expect("acked ingest survives the kill");
+            assert_eq!(&rid, id);
+            assert_eq!(&rlabel, label);
+        }
+        c.shutdown().expect("shutdown");
+    }
+    daemon.child.wait().expect("clean exit");
+
+    std::fs::remove_dir_all(&data_dir).ok();
+}

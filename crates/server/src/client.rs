@@ -209,7 +209,7 @@ impl Client {
 
     pub fn server_stats(&mut self) -> Result<ServerStatsReport, ClientError> {
         match self.call(&Request::ServerStats)? {
-            Response::ServerStats(s) => Ok(s),
+            Response::ServerStats(s) => Ok(*s),
             other => Err(unexpected("ServerStats", &other)),
         }
     }

@@ -132,19 +132,34 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
-/// Serialize a frame into a byte vector.
-pub fn encode_frame(version: u16, payload: &[u8]) -> Vec<u8> {
+/// Checked header length for a payload. The wire format stores the
+/// length as a `u32`, so anything past `u32::MAX` bytes cannot be
+/// framed at all — this is where that is enforced (a plain `as u32`
+/// cast would silently truncate and emit a corrupt header).
+pub fn frame_len(payload_len: usize) -> Result<u32, FrameError> {
+    u32::try_from(payload_len).map_err(|_| FrameError::Oversized {
+        len: payload_len,
+        max: u32::MAX as usize,
+    })
+}
+
+/// Serialize a frame into a byte vector. Fails (rather than emitting a
+/// corrupt header) when the payload does not fit the `u32` length
+/// field.
+pub fn encode_frame(version: u16, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let len = frame_len(payload.len())?;
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&version.to_be_bytes());
     out.extend_from_slice(&0u16.to_be_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(payload);
-    out
+    Ok(out)
 }
 
 /// Write one frame to a blocking writer. Refuses payloads above `max`
-/// locally so a well-behaved peer never triggers the remote cap.
+/// locally so a well-behaved peer never triggers the remote cap; the
+/// wire format's own `u32` ceiling applies even when `max` is larger.
 pub fn write_frame(
     w: &mut impl Write,
     version: u16,
@@ -157,7 +172,7 @@ pub fn write_frame(
             max,
         }));
     }
-    w.write_all(&encode_frame(version, payload))?;
+    w.write_all(&encode_frame(version, payload)?)?;
     w.flush()?;
     Ok(())
 }
@@ -371,6 +386,18 @@ pub struct LatencySummary {
     pub max_us: u64,
 }
 
+/// One store shard's accounting row in a `ServerStats` response.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatRow {
+    pub shard: usize,
+    pub profiles: usize,
+    pub ingests: u64,
+    /// Shelf read-lock acquisitions that had to block.
+    pub read_contended: u64,
+    /// Shelf write-lock acquisitions that had to block.
+    pub write_contended: u64,
+}
+
 /// The `server-stats` payload: request observability plus the store's
 /// cache counters, one round trip.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -405,11 +432,21 @@ pub struct ServerStatsReport {
     pub wal_truncated_bytes: u64,
     /// Records appended to the WAL since startup.
     pub wal_appends: u64,
+    /// Group commits since startup: WAL flushes that made a batch of
+    /// appends durable. `wal_appends / wal_group_commits` is the
+    /// achieved batching factor. Defaults to zero when talking to a
+    /// daemon predating group commit.
+    #[serde(default)]
+    pub wal_group_commits: u64,
     /// Snapshot compactions since startup.
     pub snapshots_written: u64,
     /// Persistence I/O failures since startup (serving continued from
     /// memory).
     pub persist_io_errors: u64,
+    /// Per-shard store accounting (empty when talking to a daemon
+    /// predating the sharded store).
+    #[serde(default)]
+    pub store_shards: Vec<ShardStatRow>,
 }
 
 impl ServerStatsReport {
@@ -444,16 +481,24 @@ impl ServerStatsReport {
         if self.durable {
             out.push_str(&format!(
                 "persistence: recovered {} snapshot + {} wal record(s), {} truncated byte(s); \
-                 {} append(s), {} snapshot(s) written, {} io error(s)\n",
+                 {} append(s) in {} group commit(s), {} snapshot(s) written, {} io error(s)\n",
                 self.snapshot_records_loaded,
                 self.wal_records_replayed,
                 self.wal_truncated_bytes,
                 self.wal_appends,
+                self.wal_group_commits,
                 self.snapshots_written,
                 self.persist_io_errors,
             ));
         } else {
             out.push_str("persistence: off (in-memory store)\n");
+        }
+        for s in &self.store_shards {
+            out.push_str(&format!(
+                "  shard {:>2}: {} profile(s), {} ingest(s), \
+                 {} contended read(s), {} contended write(s)\n",
+                s.shard, s.profiles, s.ingests, s.read_contended, s.write_contended,
+            ));
         }
         for op in &self.per_op {
             out.push_str(&format!(
@@ -560,7 +605,9 @@ pub enum Response {
     /// Rendered artifact text (aggregate, top, report, views, diff,
     /// store-stats).
     Text(String),
-    ServerStats(ServerStatsReport),
+    /// Boxed: the report (per-op rows + per-shard rows) dwarfs every
+    /// other variant, and `Response` values move through channels.
+    ServerStats(Box<ServerStatsReport>),
     CacheCleared,
     ShuttingDown,
     Error(WireError),

@@ -26,7 +26,7 @@
 use crate::metrics::{Metrics, OpSlot};
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, FrameError, ProfileEntry, RecvError,
-    ReportFormat, Request, Response, ServerStatsReport, WireError, DEFAULT_MAX_FRAME,
+    ReportFormat, Request, Response, ServerStatsReport, ShardStatRow, WireError, DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
 };
 use numa_store::{ProfileStore, Query, StoreError};
@@ -247,7 +247,7 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
                         got: frame.version,
                         supported: PROTOCOL_VERSION,
                     });
-                    let _ = send(&mut stream, &resp, ctx.config.max_frame);
+                    let _ = send(&mut stream, &resp);
                     return;
                 }
                 let start = Instant::now();
@@ -262,7 +262,7 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
                     }
                 };
                 let is_error = matches!(resp, Response::Error(_));
-                let sent = send(&mut stream, &resp, ctx.config.max_frame);
+                let sent = send(&mut stream, &resp);
                 ctx.metrics.record_request(op, start.elapsed(), is_error);
                 if sent.is_err() || matches!(resp, Response::ShuttingDown) {
                     return;
@@ -277,7 +277,7 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
             Err(RecvError::Frame(FrameError::Oversized { len, max })) => {
                 ctx.metrics.rejected_oversized();
                 let resp = Response::Error(WireError::Oversized { len, max });
-                let _ = send(&mut stream, &resp, ctx.config.max_frame);
+                let _ = send(&mut stream, &resp);
                 return;
             }
             Err(RecvError::Frame(e)) => {
@@ -285,7 +285,7 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
                 let resp = Response::Error(WireError::Malformed {
                     detail: e.to_string(),
                 });
-                let _ = send(&mut stream, &resp, ctx.config.max_frame);
+                let _ = send(&mut stream, &resp);
                 return;
             }
             Err(e) if e.is_timeout() => {
@@ -299,8 +299,18 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
     }
 }
 
-fn send(stream: &mut TcpStream, resp: &Response, max_frame: usize) -> Result<(), RecvError> {
-    write_frame(stream, PROTOCOL_VERSION, &encode_response(resp), max_frame)
+/// Send a response. The `max_frame` config bounds *inbound* frames (it
+/// protects the daemon's memory from untrusted peers); outbound
+/// responses are limited only by the wire format's own `u32` length
+/// field, so tightening the inbound cap never makes stats or listing
+/// responses unsendable.
+fn send(stream: &mut TcpStream, resp: &Response) -> Result<(), RecvError> {
+    write_frame(
+        stream,
+        PROTOCOL_VERSION,
+        &encode_response(resp),
+        u32::MAX as usize,
+    )
 }
 
 /// Execute one request against the store. Panics in analysis code are
@@ -339,7 +349,7 @@ fn execute_inner(ctx: &WorkerCtx, req: &Request) -> Response {
                 .into_iter()
                 .map(|e| ProfileEntry {
                     id: e.id.to_string(),
-                    label: e.label,
+                    label: e.label.to_string(),
                     threads: e.threads,
                     json_bytes: e.json_bytes,
                 })
@@ -348,7 +358,7 @@ fn execute_inner(ctx: &WorkerCtx, req: &Request) -> Response {
         Request::Resolve { reference } => match store.resolve(reference) {
             Ok(sp) => Response::Resolved {
                 id: sp.id.to_string(),
-                label: sp.label.clone(),
+                label: sp.label.to_string(),
             },
             Err(e) => Response::Error(wire_error(e)),
         },
@@ -397,9 +407,11 @@ fn execute_inner(ctx: &WorkerCtx, req: &Request) -> Response {
             }
         }
         Request::StoreStats => Response::Text(store.stats().render()),
-        Request::ServerStats => {
-            Response::ServerStats(snapshot_stats(&ctx.metrics, store, ctx.started.elapsed()))
-        }
+        Request::ServerStats => Response::ServerStats(Box::new(snapshot_stats(
+            &ctx.metrics,
+            store,
+            ctx.started.elapsed(),
+        ))),
         Request::ClearCache => {
             store.clear_cache();
             Response::CacheCleared
@@ -469,7 +481,20 @@ fn snapshot_stats(metrics: &Metrics, store: &ProfileStore, uptime: Duration) -> 
         wal_records_replayed: persist.wal_records_replayed,
         wal_truncated_bytes: persist.wal_truncated_bytes + persist.snapshot_truncated_bytes,
         wal_appends: persist.wal_appends,
+        wal_group_commits: persist.wal_group_commits,
         snapshots_written: persist.snapshots_written,
         persist_io_errors: persist.io_errors,
+        store_shards: store_stats
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardStatRow {
+                shard,
+                profiles: s.profiles,
+                ingests: s.ingests,
+                read_contended: s.read_contended,
+                write_contended: s.write_contended,
+            })
+            .collect(),
     }
 }

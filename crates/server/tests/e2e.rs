@@ -182,7 +182,7 @@ fn malformed_and_oversized_frames_get_typed_errors_and_the_daemon_survives() {
     // inspection with a typed error.
     {
         let mut s = TcpStream::connect(addr).expect("connect raw");
-        s.write_all(&encode_frame(PROTOCOL_VERSION, &vec![b'x'; 4096]))
+        s.write_all(&encode_frame(PROTOCOL_VERSION, &vec![b'x'; 4096]).expect("encode"))
             .expect("send oversized");
         let frame = read_frame(&mut s, 1 << 20).expect("reply").expect("frame");
         let resp = numa_server::protocol::decode_response(&frame.payload).expect("decode");
@@ -214,10 +214,9 @@ fn malformed_and_oversized_frames_get_typed_errors_and_the_daemon_survives() {
     // Valid frame, bogus JSON: typed malformed error.
     {
         let mut s = TcpStream::connect(addr).expect("connect raw");
-        s.write_all(&encode_frame(
-            PROTOCOL_VERSION,
-            b"{\"no\": \"such request\"}",
-        ))
+        s.write_all(
+            &encode_frame(PROTOCOL_VERSION, b"{\"no\": \"such request\"}").expect("encode"),
+        )
         .expect("send bogus");
         let frame = read_frame(&mut s, 1 << 20).expect("reply").expect("frame");
         let resp = numa_server::protocol::decode_response(&frame.payload).expect("decode");
@@ -230,7 +229,7 @@ fn malformed_and_oversized_frames_get_typed_errors_and_the_daemon_survives() {
     // Wrong protocol version: typed version error.
     {
         let mut s = TcpStream::connect(addr).expect("connect raw");
-        s.write_all(&encode_frame(99, b"\"Ping\""))
+        s.write_all(&encode_frame(99, b"\"Ping\"").expect("encode"))
             .expect("send v99");
         let frame = read_frame(&mut s, 1 << 20).expect("reply").expect("frame");
         assert_eq!(

@@ -3,9 +3,9 @@
 //! malformed byte stream yields a typed error — never a panic.
 
 use numa_server::protocol::{
-    decode_request, decode_response, encode_frame, encode_request, encode_response, read_frame,
-    FrameDecoder, FrameError, RecvError, ReportFormat, Request, Response, WireError, HEADER_LEN,
-    PROTOCOL_VERSION,
+    decode_request, decode_response, encode_frame, encode_request, encode_response, frame_len,
+    read_frame, FrameDecoder, FrameError, RecvError, ReportFormat, Request, Response, WireError,
+    HEADER_LEN, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -29,7 +29,7 @@ fn text_strategy() -> impl Strategy<Value = String> {
 proptest! {
     #[test]
     fn single_frame_round_trips(payload in payload_strategy(), version in 0u16..64) {
-        let bytes = encode_frame(version, &payload);
+        let bytes = encode_frame(version, &payload).unwrap();
         let mut decoder = FrameDecoder::new(payload.len().max(1));
         decoder.push(&bytes);
         let frame = decoder.next_frame().expect("valid frame").expect("complete");
@@ -47,7 +47,7 @@ proptest! {
     ) {
         let mut stream = Vec::new();
         for p in &payloads {
-            stream.extend_from_slice(&encode_frame(PROTOCOL_VERSION, p));
+            stream.extend_from_slice(&encode_frame(PROTOCOL_VERSION, p).unwrap());
         }
         // Feed the concatenated stream in fixed-size slivers; frame
         // boundaries land anywhere relative to chunk boundaries.
@@ -66,7 +66,7 @@ proptest! {
     #[test]
     fn oversized_frames_are_typed_errors(extra in 1usize..4096, max in 8usize..256) {
         let payload = vec![0xabu8; max + extra];
-        let bytes = encode_frame(PROTOCOL_VERSION, &payload);
+        let bytes = encode_frame(PROTOCOL_VERSION, &payload).unwrap();
         let mut decoder = FrameDecoder::new(max);
         // Push only the header: the cap must trip before any payload
         // is buffered.
@@ -80,7 +80,7 @@ proptest! {
 
     #[test]
     fn truncated_frames_never_complete(payload in payload_strategy(), keep_permille in 0u64..1000) {
-        let bytes = encode_frame(PROTOCOL_VERSION, &payload);
+        let bytes = encode_frame(PROTOCOL_VERSION, &payload).unwrap();
         let keep = (bytes.len() as u64 * keep_permille / 1000) as usize;
         if keep < bytes.len() {
             let mut decoder = FrameDecoder::new(1 << 20);
@@ -101,7 +101,7 @@ proptest! {
 
     #[test]
     fn garbage_magic_is_rejected(payload in payload_strategy(), first in 0u64..0xffff_ffff) {
-        let mut bytes = encode_frame(PROTOCOL_VERSION, &payload);
+        let mut bytes = encode_frame(PROTOCOL_VERSION, &payload).unwrap();
         let magic = (first as u32).to_be_bytes();
         if magic != *b"HPCD" {
             bytes[..4].copy_from_slice(&magic);
@@ -163,7 +163,7 @@ proptest! {
 
 #[test]
 fn nonzero_reserved_is_rejected() {
-    let mut bytes = encode_frame(PROTOCOL_VERSION, b"x");
+    let mut bytes = encode_frame(PROTOCOL_VERSION, b"x").unwrap();
     bytes[6] = 0x12;
     bytes[7] = 0x34;
     let mut decoder = FrameDecoder::new(64);
@@ -180,4 +180,20 @@ fn non_utf8_payload_is_a_typed_malformed_error() {
     assert!(matches!(err, WireError::Malformed { .. }), "{err:?}");
     let err = decode_request(b"{\"not\": \"a request\"}").unwrap_err();
     assert!(matches!(err, WireError::Malformed { .. }), "{err:?}");
+}
+
+#[test]
+fn frame_len_rejects_payloads_past_u32() {
+    // The wire length field is a u32; encoding anything larger must be
+    // a typed error, never a silently truncated header. Checked via the
+    // length helper so the test does not allocate 4 GiB.
+    assert_eq!(frame_len(0).unwrap(), 0);
+    assert_eq!(frame_len(u32::MAX as usize).unwrap(), u32::MAX);
+    assert_eq!(
+        frame_len(u32::MAX as usize + 1).unwrap_err(),
+        FrameError::Oversized {
+            len: u32::MAX as usize + 1,
+            max: u32::MAX as usize,
+        }
+    );
 }

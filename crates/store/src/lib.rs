@@ -11,6 +11,12 @@
 //!   [`ProfileStore::ingest_dir`]): serialized [`NumaProfile`] JSON is
 //!   parsed in parallel with rayon and stored under the FNV-1a hash of
 //!   its canonical serialization, so duplicate runs dedup to one copy.
+//! * **Hash-sharded shelves**: profiles live in N shard shelves keyed
+//!   by `content_hash & (N-1)`, each behind its own `RwLock`, so
+//!   concurrent ingests and queries touching different shards never
+//!   contend. All CPU work — canonicalization, FNV-1a hashing, serde —
+//!   happens *before* any lock is taken; a shard write lock covers one
+//!   hash-map insert and a vec push.
 //! * **Cross-run merging** ([`ProfileStore::aggregate`]): pooled
 //!   [`MetricSet`](numa_profiler::MetricSet)s, per-variable totals keyed by name (VarIds are not
 //!   stable across runs), and normalized \[min,max\]-reduced address
@@ -18,12 +24,18 @@
 //! * **Memoized queries** ([`ProfileStore::query`]): derived artifacts
 //!   are cached in a sharded LRU keyed by `(scope hash, query)` with
 //!   hit/miss/insertion/eviction counters ([`ProfileStore::stats`]).
+//! * **Group-commit durability** ([`ProfileStore::open_durable`]): WAL
+//!   appends are queued to a dedicated persister thread that batches
+//!   pending records and flushes once per batch (see the `persist`
+//!   module docs); startup replay parses records in parallel and
+//!   inserts them shard-by-shard in parallel.
 //!
 //! The CLI front end is `hpcstore-sim` in the `numa-tools` crate.
 
 mod aggregate;
 mod cache;
 mod hash;
+mod persist;
 pub mod snapshot;
 pub mod wal;
 
@@ -34,11 +46,11 @@ pub use hash::{fnv1a, mix, ProfileId};
 use numa_analysis::{analyze, diff, full_text_report, render_cct, Analyzer};
 use numa_engine::Engine;
 use numa_profiler::{NumaProfile, RangeScope};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -100,8 +112,9 @@ impl std::error::Error for StoreError {}
 pub struct StoredProfile {
     pub id: ProfileId,
     /// Where the profile came from (file name, CLI label, ...). Purely
-    /// informational; identity is `id`.
-    pub label: String,
+    /// informational; identity is `id`. An `Arc<str>` so listings and
+    /// candidate rows share it instead of cloning the string.
+    pub label: Arc<str>,
     /// The parsed measurement, behind an `Arc` so analyzers and the
     /// attribution engine share the one stored copy.
     pub profile: Arc<NumaProfile>,
@@ -113,10 +126,10 @@ pub struct StoredProfile {
 }
 
 impl StoredProfile {
-    fn new(id: ProfileId, label: String, profile: NumaProfile, json_bytes: usize) -> Self {
+    fn new(id: ProfileId, label: &str, profile: NumaProfile, json_bytes: usize) -> Self {
         StoredProfile {
             id,
-            label,
+            label: Arc::from(label),
             profile: Arc::new(profile),
             json_bytes,
             engine: OnceLock::new(),
@@ -134,11 +147,12 @@ impl StoredProfile {
 }
 
 /// One row of [`ProfileStore::entries`]: the listing-relevant facts
-/// about a stored profile, snapshotted atomically.
+/// about a stored profile. The label is a shared `Arc<str>` — listing
+/// never clones profile contents or label bytes.
 #[derive(Clone, Debug)]
 pub struct ProfileListEntry {
     pub id: ProfileId,
-    pub label: String,
+    pub label: Arc<str>,
     pub threads: usize,
     pub json_bytes: usize,
 }
@@ -218,26 +232,133 @@ pub enum Query {
 }
 
 impl Query {
-    /// Which profiles the artifact is derived from: single ids for
-    /// targeted queries, the whole set for pooled ones.
-    fn scope(&self, store: &ProfileStore) -> u64 {
+    /// Scope hash for queries over explicitly named profiles. Pooled
+    /// queries (`Aggregate`, `TopVariables`) have no fixed scope — it is
+    /// the hash of the set snapshot they run over (see
+    /// [`ProfileStore::query`]).
+    fn fixed_scope(&self) -> Option<u64> {
         match self {
             Query::ReportJson(id)
             | Query::TextReport(id)
             | Query::CodeView { profile: id, .. }
-            | Query::AddressView { profile: id, .. } => mix(0, id.0),
-            Query::Diff { before, after } => mix(mix(0, before.0), after.0),
-            Query::Aggregate | Query::TopVariables(_) => store.set_hash(),
+            | Query::AddressView { profile: id, .. } => Some(mix(0, id.0)),
+            Query::Diff { before, after } => Some(mix(mix(0, before.0), after.0)),
+            Query::Aggregate | Query::TopVariables(_) => None,
         }
     }
 }
 
+/// Salt folded with each id into the order-insensitive set hash.
+const SET_HASH_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Order-insensitive XOR-fold of the ids in `profiles` — equals
+/// [`ProfileStore::set_hash`] whenever `profiles` is the full set.
+fn pooled_scope(profiles: &[Arc<StoredProfile>]) -> u64 {
+    profiles
+        .iter()
+        .fold(0, |h, sp| h ^ mix(SET_HASH_SALT, sp.id.0))
+}
+
+/// One shard's shelf: the profiles whose content hash maps here.
 #[derive(Default)]
 struct Shelf {
-    profiles: Vec<Arc<StoredProfile>>,
+    /// `(global insertion sequence, profile)` — the sequence restores
+    /// cross-shard insertion order in listings.
+    profiles: Vec<(u64, Arc<StoredProfile>)>,
     by_id: HashMap<ProfileId, usize>,
-    /// Order-insensitive combined hash of the stored ids.
+    /// Order-insensitive combined hash of this shard's ids.
     set_hash: u64,
+}
+
+/// A shard: its shelf plus contention accounting.
+#[derive(Default)]
+struct Shard {
+    shelf: RwLock<Shelf>,
+    ingests: AtomicU64,
+    read_contended: AtomicU64,
+    write_contended: AtomicU64,
+}
+
+impl Shard {
+    /// Read-lock the shelf, counting the acquisition as contended when
+    /// it could not be granted immediately.
+    fn read(&self) -> parking_lot::RwLockReadGuard<'_, Shelf> {
+        match self.shelf.try_read() {
+            Some(g) => g,
+            None => {
+                self.read_contended.fetch_add(1, Ordering::Relaxed);
+                self.shelf.read()
+            }
+        }
+    }
+
+    /// Write-lock the shelf, counting contended acquisitions.
+    fn write(&self) -> parking_lot::RwLockWriteGuard<'_, Shelf> {
+        match self.shelf.try_write() {
+            Some(g) => g,
+            None => {
+                self.write_contended.fetch_add(1, Ordering::Relaxed);
+                self.shelf.write()
+            }
+        }
+    }
+}
+
+/// The sharded shelf set, shared with the persister thread (snapshot
+/// compaction reads the corpus through it).
+struct ShardSet {
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    mask: usize,
+    /// Global insertion sequence, stamped outside any lock.
+    seq: AtomicU64,
+}
+
+impl ShardSet {
+    fn new(n: usize) -> ShardSet {
+        ShardSet {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            mask: n - 1,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard a profile id maps to: `content_hash & (N-1)`.
+    fn of(&self, id: ProfileId) -> &Shard {
+        &self.shards[id.0 as usize & self.mask]
+    }
+
+    /// Every stored profile, sorted by id — a deterministic order that
+    /// does not depend on the shard count or insertion interleaving, so
+    /// snapshots and pooled aggregates are reproducible.
+    fn corpus_sorted(&self) -> Vec<Arc<StoredProfile>> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let shelf = shard.read();
+            all.extend(shelf.profiles.iter().map(|(_, sp)| Arc::clone(sp)));
+        }
+        all.sort_by_key(|sp| sp.id.0);
+        all
+    }
+}
+
+/// Sizing knobs for [`ProfileStore::with_config`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Memoized artifacts held by the LRU cache.
+    pub cache_capacity: usize,
+    /// Shard count; rounded up to a power of two and clamped to
+    /// `1..=256`. One shard reproduces the old single-lock store.
+    pub shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            cache_capacity: ProfileStore::DEFAULT_CACHE_CAPACITY,
+            shards: ProfileStore::DEFAULT_SHARDS,
+        }
+    }
 }
 
 /// Tuning knobs for durable stores ([`ProfileStore::open_durable`]).
@@ -247,10 +368,10 @@ pub struct PersistOptions {
     /// bytes. The compaction cost is proportional to the whole corpus,
     /// so this trades replay time against snapshot churn.
     pub snapshot_wal_bytes: u64,
-    /// `fsync` the WAL after every append (and the snapshot after every
-    /// compaction). Off by default: flushing to the OS already survives
-    /// a SIGKILL of the daemon; `fsync` additionally survives power loss
-    /// at a large per-append cost.
+    /// `fsync` the WAL once per group commit (and the snapshot after
+    /// every compaction). Off by default: flushing to the OS already
+    /// survives a SIGKILL of the daemon; `fsync` additionally survives
+    /// power loss at a large per-commit cost.
     pub fsync: bool,
 }
 
@@ -282,6 +403,10 @@ pub struct PersistStats {
     pub replay_parse_failures: u64,
     /// Records appended to the WAL since startup.
     pub wal_appends: u64,
+    /// Group commits: WAL flushes that made a batch of appends durable.
+    /// `wal_appends / wal_group_commits` is the achieved batching
+    /// factor (1.0 when every ingest commits alone).
+    pub wal_group_commits: u64,
     /// Current WAL size in bytes (file header included).
     pub wal_bytes: u64,
     /// Snapshot compactions performed since startup (flushes included).
@@ -291,31 +416,44 @@ pub struct PersistStats {
     pub io_errors: u64,
 }
 
-/// Live persistence state: the WAL appender plus its counters, guarded
-/// by one mutex so appends and compactions serialize.
-struct Persistence {
-    dir: PathBuf,
-    wal: wal::WalWriter,
-    opts: PersistOptions,
-    stats: PersistStats,
+/// Per-shard accounting row in [`StoreStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Profiles resident in this shard.
+    pub profiles: usize,
+    /// Ingests that landed in this shard (dedup hits excluded).
+    pub ingests: u64,
+    /// Shelf read-lock acquisitions that had to block.
+    pub read_contended: u64,
+    /// Shelf write-lock acquisitions that had to block.
+    pub write_contended: u64,
 }
 
-/// The store: profiles plus the memo cache over them, optionally backed
-/// by a WAL + snapshot data directory.
+/// The store: hash-sharded profiles plus the memo cache over them,
+/// optionally backed by a WAL + snapshot data directory.
 pub struct ProfileStore {
-    shelf: RwLock<Shelf>,
+    shards: Arc<ShardSet>,
     cache: MemoCache<(u64, Query), Artifact>,
     dedup_hits: AtomicU64,
     parse_failures: AtomicU64,
-    /// `None` for in-memory stores. Lock order: `persist` may be taken
-    /// first with `shelf` read-locked inside it (compaction does this);
-    /// never acquire `persist` while holding `shelf`.
-    persist: Mutex<Option<Persistence>>,
+    /// Group-commit persister; unset for in-memory stores. Ingest paths
+    /// never hold a shelf lock while talking to it.
+    persist: OnceLock<persist::Persister>,
 }
 
 impl Default for ProfileStore {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for ProfileStore {
+    /// Stop the persister (committing anything queued) and join it, so
+    /// a dropped store leaves the WAL exactly as acknowledged.
+    fn drop(&mut self) {
+        if let Some(p) = self.persist.get() {
+            p.stop();
+        }
     }
 }
 
@@ -327,83 +465,173 @@ impl ProfileStore {
     /// Default number of memoized artifacts.
     pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
+    /// Default shard count. Eight shards keep the per-shard lock nearly
+    /// uncontended for typical daemon worker pools while costing a few
+    /// hundred bytes of fixed overhead.
+    pub const DEFAULT_SHARDS: usize = 8;
+
     pub fn new() -> Self {
-        Self::with_cache_capacity(Self::DEFAULT_CACHE_CAPACITY)
+        Self::with_config(StoreConfig::default())
     }
 
     pub fn with_cache_capacity(capacity: usize) -> Self {
+        Self::with_config(StoreConfig {
+            cache_capacity: capacity,
+            ..StoreConfig::default()
+        })
+    }
+
+    pub fn with_config(config: StoreConfig) -> Self {
+        let shards = config.shards.clamp(1, 256).next_power_of_two();
         ProfileStore {
-            shelf: RwLock::new(Shelf::default()),
-            cache: MemoCache::new(capacity),
+            shards: Arc::new(ShardSet::new(shards)),
+            cache: MemoCache::new(config.cache_capacity),
             dedup_hits: AtomicU64::new(0),
             parse_failures: AtomicU64::new(0),
-            persist: Mutex::new(None),
+            persist: OnceLock::new(),
         }
+    }
+
+    /// Number of shard shelves (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.shards.len()
     }
 
     // ------------------------------------------------------------------
     // Durability
     // ------------------------------------------------------------------
 
-    /// Open a durable store on `dir`: load the snapshot, replay the WAL
-    /// (truncating at the first torn/corrupt record), and attach an
-    /// appender so every later ingest is logged before it is
-    /// acknowledged. Recovery counts are available via
-    /// [`ProfileStore::persist_stats`].
+    /// Open a durable store on `dir` with the default shard count: load
+    /// the snapshot, replay the WAL (truncating at the first
+    /// torn/corrupt record), and attach the group-commit persister so
+    /// every later ingest is logged before it is acknowledged. Recovery
+    /// counts are available via [`ProfileStore::persist_stats`].
     pub fn open_durable(
         dir: &Path,
         cache_capacity: usize,
         opts: PersistOptions,
     ) -> io::Result<ProfileStore> {
+        Self::open_durable_config(
+            dir,
+            StoreConfig {
+                cache_capacity,
+                ..StoreConfig::default()
+            },
+            opts,
+        )
+    }
+
+    /// [`ProfileStore::open_durable`] with explicit store sizing.
+    /// Replay parses snapshot + WAL records in parallel, partitions them
+    /// by destination shard, and inserts each shard's group under one
+    /// write lock — shards replay concurrently.
+    pub fn open_durable_config(
+        dir: &Path,
+        config: StoreConfig,
+        opts: PersistOptions,
+    ) -> io::Result<ProfileStore> {
         std::fs::create_dir_all(dir)?;
-        let store = Self::with_cache_capacity(cache_capacity);
-        let mut stats = PersistStats {
+        let store = Self::with_config(config);
+        let mut base = PersistStats {
             durable: true,
             ..PersistStats::default()
         };
 
         let snap = snapshot::load_snapshot(dir)?;
-        stats.snapshot_records_loaded = snap.records.len() as u64;
-        stats.snapshot_truncated_bytes = snap.truncated_bytes;
+        base.snapshot_records_loaded = snap.records.len() as u64;
+        base.snapshot_truncated_bytes = snap.truncated_bytes;
         let log = wal::scan_file(&wal::wal_path(dir), wal::WAL_MAGIC)?;
-        stats.wal_records_replayed = log.records.len() as u64;
-        stats.wal_truncated_bytes = log.truncated_bytes;
+        base.wal_records_replayed = log.records.len() as u64;
+        base.wal_truncated_bytes = log.truncated_bytes;
 
         // Replay snapshot first, then the log on top; content addressing
-        // dedups records present in both. Persistence is not attached
+        // dedups records present in both. The persister is not attached
         // yet, so replayed inserts do not re-append to the WAL.
-        let inputs: Vec<(String, String)> = snap
-            .records
-            .into_iter()
-            .chain(log.records)
-            .map(|r| (r.label, r.json))
-            .collect();
-        let report = store.ingest_batch(&inputs);
-        stats.replay_parse_failures = report.rejected.len() as u64;
+        let records: Vec<wal::WalRecord> = snap.records.into_iter().chain(log.records).collect();
+        base.replay_parse_failures = store.replay(records);
 
         let writer = wal::WalWriter::open_after(&wal::wal_path(dir), log.valid_len, opts.fsync)?;
-        stats.wal_bytes = writer.len();
-        *store.persist.lock() = Some(Persistence {
-            dir: dir.to_path_buf(),
-            wal: writer,
-            opts,
-            stats,
+        // The compaction corpus closure runs on the persister thread: it
+        // clones profile `Arc`s under brief shard read locks, then
+        // serializes outside any lock (in parallel under rayon).
+        let shards = Arc::clone(&store.shards);
+        let corpus: persist::CorpusFn = Box::new(move || {
+            use rayon::prelude::*;
+            let profiles = shards.corpus_sorted();
+            profiles
+                .par_iter()
+                .map(|sp| (sp.label.to_string(), sp.profile.to_json(), sp.id.0))
+                .collect_vec()
         });
+        let persister = persist::Persister::spawn(dir.to_path_buf(), writer, opts, base, corpus)?;
+        let _ = store.persist.set(persister);
         Ok(store)
+    }
+
+    /// Rebuild the in-memory set from recovered records: parse and
+    /// canonicalize in parallel (the expensive part), stamp insertion
+    /// sequence numbers in file order, then insert per shard in
+    /// parallel — one write lock per shard for its whole group. Returns
+    /// the number of records that no longer parse.
+    fn replay(&self, records: Vec<wal::WalRecord>) -> u64 {
+        use rayon::prelude::*;
+        if records.is_empty() {
+            return 0;
+        }
+        let parsed: Vec<Option<Arc<StoredProfile>>> = records
+            .par_iter()
+            .map(|r| {
+                NumaProfile::from_json(&r.json).ok().map(|profile| {
+                    let (id, canonical) = ProfileId::of(&profile);
+                    Arc::new(StoredProfile::new(id, &r.label, profile, canonical.len()))
+                })
+            })
+            .collect_vec();
+        let failures = parsed.iter().filter(|p| p.is_none()).count() as u64;
+
+        let mut by_shard: Vec<Vec<(u64, Arc<StoredProfile>)>> =
+            (0..self.shards.shards.len()).map(|_| Vec::new()).collect();
+        for sp in parsed.into_iter().flatten() {
+            let seq = self.shards.seq.fetch_add(1, Ordering::Relaxed);
+            by_shard[sp.id.0 as usize & self.shards.mask].push((seq, sp));
+        }
+        let deduped: u64 = by_shard
+            .par_iter()
+            .map(|group| {
+                let mut dups = 0u64;
+                let Some((_, first)) = group.first() else {
+                    return 0;
+                };
+                let shard = self.shards.of(first.id);
+                let mut shelf = shard.write();
+                for (seq, sp) in group {
+                    if shelf.by_id.contains_key(&sp.id) {
+                        dups += 1;
+                    } else {
+                        shelf.set_hash ^= mix(SET_HASH_SALT, sp.id.0);
+                        let slot = shelf.profiles.len();
+                        shelf.by_id.insert(sp.id, slot);
+                        shelf.profiles.push((*seq, Arc::clone(sp)));
+                        shard.ingests.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                dups
+            })
+            .collect_vec()
+            .into_iter()
+            .sum();
+        self.dedup_hits.fetch_add(deduped, Ordering::Relaxed);
+        failures
     }
 
     /// Whether this store is backed by a data directory.
     pub fn is_durable(&self) -> bool {
-        self.persist.lock().is_some()
+        self.persist.get().is_some()
     }
 
     /// Persistence counters (all-zero default for in-memory stores).
     pub fn persist_stats(&self) -> PersistStats {
-        self.persist
-            .lock()
-            .as_ref()
-            .map(|p| p.stats)
-            .unwrap_or_default()
+        self.persist.get().map(|p| p.stats()).unwrap_or_default()
     }
 
     /// Force a snapshot compaction now: write the whole corpus to the
@@ -411,54 +639,23 @@ impl ProfileStore {
     /// stores. Call on daemon shutdown so restart recovery is a pure
     /// snapshot load.
     pub fn flush(&self) -> io::Result<()> {
-        let mut guard = self.persist.lock();
-        match guard.as_mut() {
+        match self.persist.get() {
             None => Ok(()),
-            Some(p) => self.compact(p),
+            Some(p) => p.flush(),
         }
     }
 
-    /// Append one newly inserted profile to the WAL, compacting when the
-    /// log outgrows the configured bound. I/O failures are counted and
-    /// reported, not propagated: the store keeps serving from memory.
-    fn persist_append(&self, label: &str, json: &str, id: ProfileId) {
-        let mut guard = self.persist.lock();
-        let Some(p) = guard.as_mut() else { return };
-        match p.wal.append(label, json, id.0) {
-            Ok(_) => {
-                p.stats.wal_appends += 1;
-                p.stats.wal_bytes = p.wal.len();
-            }
-            Err(e) => {
-                p.stats.io_errors += 1;
-                eprintln!("numa-store: WAL append for {label:?} failed: {e}");
-                return;
-            }
-        }
-        if p.wal.len() >= p.opts.snapshot_wal_bytes {
-            if let Err(e) = self.compact(p) {
-                p.stats.io_errors += 1;
-                eprintln!("numa-store: snapshot compaction failed: {e}");
-            }
-        }
-    }
-
-    /// Snapshot the whole corpus and reset the WAL. Caller holds the
-    /// `persist` mutex; the shelf is only read-locked briefly to clone
-    /// the profile `Arc`s, and any insert racing past that point simply
-    /// lands in both the snapshot and the fresh WAL (deduped on
-    /// replay).
-    fn compact(&self, p: &mut Persistence) -> io::Result<()> {
-        let profiles = self.shelf.read().profiles.clone();
-        let entries: Vec<(String, String, u64)> = profiles
+    /// Log freshly inserted profiles and block until the group-commit
+    /// persister has them flushed. `fresh` rows are
+    /// `(label, canonical json, id)`; record encoding happens here, on
+    /// the ingest thread, outside every lock.
+    fn persist_batch(&self, fresh: &[(Arc<str>, String, ProfileId)]) {
+        let Some(p) = self.persist.get() else { return };
+        let records: Vec<Vec<u8>> = fresh
             .iter()
-            .map(|sp| (sp.label.clone(), sp.profile.to_json(), sp.id.0))
+            .map(|(label, json, id)| wal::encode_record(label, json, id.0))
             .collect();
-        snapshot::write_snapshot(&p.dir, &entries)?;
-        p.wal.reset()?;
-        p.stats.snapshots_written += 1;
-        p.stats.wal_bytes = p.wal.len();
-        Ok(())
+        p.append_all(records);
     }
 
     // ------------------------------------------------------------------
@@ -471,13 +668,12 @@ impl ProfileStore {
     /// before this returns.
     pub fn ingest_profile(&self, label: &str, profile: NumaProfile) -> (ProfileId, bool) {
         let (id, canonical) = ProfileId::of(&profile);
-        let sp = Arc::new(StoredProfile::new(
-            id,
-            label.to_string(),
-            profile,
-            canonical.len(),
-        ));
-        let added = self.insert(sp, &canonical);
+        let sp = Arc::new(StoredProfile::new(id, label, profile, canonical.len()));
+        let label = Arc::clone(&sp.label);
+        let added = self.insert(sp);
+        if added {
+            self.persist_batch(&[(label, canonical, id)]);
+        }
         (id, added)
     }
 
@@ -498,30 +694,35 @@ impl ProfileStore {
     /// Ingest a batch of `(label, json)` inputs. Parsing and content
     /// hashing — the expensive part — run in parallel under rayon (the
     /// active thread pool; see `ThreadPool::install`); insertion is a
-    /// short sequential tail. Bad inputs are reported, not fatal.
+    /// short sequential tail of per-shard lock grabs. On durable stores
+    /// the whole batch is enqueued to the persister at once and waits
+    /// for a single group commit. Bad inputs are reported, not fatal.
     pub fn ingest_batch(&self, inputs: &[(String, String)]) -> BatchReport {
         use rayon::prelude::*;
         // Parsed profile paired with its canonical JSON (kept for the
-        // WAL append), or the (label, error) rejection.
+        // WAL record), or the (label, error) rejection.
         type Parsed = Result<(Arc<StoredProfile>, String), (String, String)>;
         let parsed: Vec<Parsed> = inputs
             .par_iter()
             .map(|(label, json)| match NumaProfile::from_json(json) {
                 Ok(profile) => {
                     let (id, canonical) = ProfileId::of(&profile);
-                    let sp = StoredProfile::new(id, label.clone(), profile, canonical.len());
+                    let sp = StoredProfile::new(id, label, profile, canonical.len());
                     Ok((Arc::new(sp), canonical))
                 }
                 Err(e) => Err((label.clone(), e.to_string())),
             })
             .collect_vec();
         let mut report = BatchReport::default();
+        let mut fresh: Vec<(Arc<str>, String, ProfileId)> = Vec::new();
         for item in parsed {
             match item {
                 Ok((sp, canonical)) => {
                     let id = sp.id;
-                    if self.insert(sp, &canonical) {
+                    let label = Arc::clone(&sp.label);
+                    if self.insert(sp) {
                         report.added.push(id);
+                        fresh.push((label, canonical, id));
                     } else {
                         report.deduplicated += 1;
                     }
@@ -532,6 +733,7 @@ impl ProfileStore {
                 }
             }
         }
+        self.persist_batch(&fresh);
         report
     }
 
@@ -565,32 +767,30 @@ impl ProfileStore {
         Ok(report)
     }
 
-    fn insert(&self, sp: Arc<StoredProfile>, canonical: &str) -> bool {
-        let (id, label) = (sp.id, sp.label.clone());
-        let added = {
-            let mut shelf = self.shelf.write();
-            if shelf.by_id.contains_key(&sp.id) {
-                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                false
-            } else {
-                let idx = shelf.profiles.len();
-                // XOR fold: the set hash must not depend on insertion
-                // order, so ingesting the same corpus from a directory
-                // or a stream yields the same scope key for pooled
-                // queries.
-                shelf.set_hash ^= mix(0x9e37_79b9_7f4a_7c15, sp.id.0);
-                shelf.by_id.insert(sp.id, idx);
-                shelf.profiles.push(sp);
-                true
-            }
-        };
-        // WAL append happens outside the shelf lock (see the `persist`
-        // field's lock-order note) but before the ingest returns, so an
-        // acknowledged profile is always on disk.
-        if added {
-            self.persist_append(&label, canonical, id);
+    /// Insert into the owning shard. Everything expensive (hashing,
+    /// canonicalization, allocation) already happened; the write lock
+    /// covers a hash-map probe, an insert, and a vec push.
+    fn insert(&self, sp: Arc<StoredProfile>) -> bool {
+        let seq = self.shards.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shards.of(sp.id);
+        let mut shelf = shard.write();
+        if shelf.by_id.contains_key(&sp.id) {
+            drop(shelf);
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            // XOR fold: the set hash must not depend on insertion
+            // order, so ingesting the same corpus from a directory
+            // or a stream yields the same scope key for pooled
+            // queries.
+            shelf.set_hash ^= mix(SET_HASH_SALT, sp.id.0);
+            let slot = shelf.profiles.len();
+            shelf.by_id.insert(sp.id, slot);
+            shelf.profiles.push((seq, sp));
+            drop(shelf);
+            shard.ingests.fetch_add(1, Ordering::Relaxed);
+            true
         }
-        added
     }
 
     // ------------------------------------------------------------------
@@ -598,41 +798,58 @@ impl ProfileStore {
     // ------------------------------------------------------------------
 
     pub fn len(&self) -> usize {
-        self.shelf.read().profiles.len()
+        self.shards
+            .shards
+            .iter()
+            .map(|s| s.read().profiles.len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Ids in insertion order.
+    /// Ids in insertion order (merged across shards by their global
+    /// insertion sequence).
     pub fn ids(&self) -> Vec<ProfileId> {
-        self.shelf.read().profiles.iter().map(|p| p.id).collect()
+        let mut rows: Vec<(u64, ProfileId)> = Vec::new();
+        for shard in &self.shards.shards {
+            let shelf = shard.read();
+            rows.extend(shelf.profiles.iter().map(|(seq, sp)| (*seq, sp.id)));
+        }
+        rows.sort_unstable_by_key(|(seq, _)| *seq);
+        rows.into_iter().map(|(_, id)| id).collect()
     }
 
-    /// Listing rows in insertion order, taken under one lock so callers
-    /// (the daemon's `list` op, CLIs) see an atomic snapshot rather
-    /// than racing `ids()` against `get()`.
+    /// Listing rows in insertion order. Each shard is snapshotted under
+    /// its own read lock; rows are cheap `(id, Arc<str> label, counts)`
+    /// tuples — no profile contents are cloned.
     pub fn entries(&self) -> Vec<ProfileListEntry> {
-        self.shelf
-            .read()
-            .profiles
-            .iter()
-            .map(|p| ProfileListEntry {
-                id: p.id,
-                label: p.label.clone(),
-                threads: p.profile.threads.len(),
-                json_bytes: p.json_bytes,
-            })
-            .collect()
+        let mut rows: Vec<(u64, ProfileListEntry)> = Vec::new();
+        for shard in &self.shards.shards {
+            let shelf = shard.read();
+            rows.extend(shelf.profiles.iter().map(|(seq, sp)| {
+                (
+                    *seq,
+                    ProfileListEntry {
+                        id: sp.id,
+                        label: Arc::clone(&sp.label),
+                        threads: sp.profile.threads.len(),
+                        json_bytes: sp.json_bytes,
+                    },
+                )
+            }));
+        }
+        rows.sort_unstable_by_key(|(seq, _)| *seq);
+        rows.into_iter().map(|(_, e)| e).collect()
     }
 
     pub fn get(&self, id: ProfileId) -> Option<Arc<StoredProfile>> {
-        let shelf = self.shelf.read();
+        let shelf = self.shards.of(id).read();
         shelf
             .by_id
             .get(&id)
-            .map(|&i| Arc::clone(&shelf.profiles[i]))
+            .map(|&i| Arc::clone(&shelf.profiles[i].1))
     }
 
     /// Resolve a CLI-style reference: a hex id prefix or a label.
@@ -643,32 +860,46 @@ impl ProfileStore {
     /// silent first-match pick. A full 16-digit id always resolves
     /// unambiguously, even if it collides with another profile's label.
     pub fn resolve(&self, needle: &str) -> Result<Arc<StoredProfile>, StoreError> {
-        let shelf = self.shelf.read();
-        let matches: Vec<&Arc<StoredProfile>> = shelf
-            .profiles
-            .iter()
-            .filter(|p| p.label == needle || p.id.to_string().starts_with(needle))
-            .collect();
+        let mut matches: Vec<(u64, Arc<StoredProfile>)> = Vec::new();
+        for shard in &self.shards.shards {
+            let shelf = shard.read();
+            matches.extend(
+                shelf
+                    .profiles
+                    .iter()
+                    .filter(|(_, p)| &*p.label == needle || p.id.to_string().starts_with(needle))
+                    .map(|(seq, p)| (*seq, Arc::clone(p))),
+            );
+        }
+        matches.sort_unstable_by_key(|(seq, _)| *seq);
         match matches.as_slice() {
             [] => Err(StoreError::NoMatch(needle.to_string())),
-            [one] => Ok(Arc::clone(one)),
+            [(_, one)] => Ok(Arc::clone(one)),
             many => {
-                if let Some(exact) = many.iter().find(|p| p.id.to_string() == needle) {
+                if let Some((_, exact)) = many.iter().find(|(_, p)| p.id.to_string() == needle) {
                     return Ok(Arc::clone(exact));
                 }
                 Err(StoreError::Ambiguous {
                     needle: needle.to_string(),
-                    candidates: many.iter().map(|p| (p.id, p.label.clone())).collect(),
+                    candidates: many
+                        .iter()
+                        .map(|(_, p)| (p.id, p.label.to_string()))
+                        .collect(),
                 })
             }
         }
     }
 
-    /// Order-insensitive content hash of the stored set; pooled cache
-    /// entries are scoped under it, so any ingestion that changes the
-    /// set automatically invalidates them (old entries age out via LRU).
+    /// Order-insensitive content hash of the stored set (the XOR of the
+    /// per-shard hashes); pooled cache entries are scoped under it, so
+    /// any ingestion that changes the set automatically invalidates them
+    /// (old entries age out via LRU).
     pub fn set_hash(&self) -> u64 {
-        self.shelf.read().set_hash
+        self.shards
+            .shards
+            .iter()
+            .map(|s| s.read().set_hash)
+            .fold(0, |a, b| a ^ b)
     }
 
     // ------------------------------------------------------------------
@@ -677,15 +908,34 @@ impl ProfileStore {
 
     /// Answer a query, memoized. The artifact is built at most once per
     /// `(scope, query)` key and shared via `Arc` thereafter.
+    ///
+    /// Pooled queries snapshot the set once and key the cache by the
+    /// hash of *that snapshot*, so the cached artifact always matches
+    /// its scope key even when ingests race the query.
     pub fn query(&self, q: Query) -> Result<Arc<Artifact>, StoreError> {
-        let scope = q.scope(self);
-        self.cache
-            .get_or_try_insert((scope, q.clone()), || self.build(&q))
+        match q.fixed_scope() {
+            Some(scope) => self
+                .cache
+                .get_or_try_insert((scope, q.clone()), || self.build(&q)),
+            None => {
+                let profiles = self.snapshot()?;
+                let scope = pooled_scope(&profiles);
+                self.cache.get_or_try_insert((scope, q.clone()), || {
+                    Ok(match &q {
+                        Query::TopVariables(n) => {
+                            Artifact::Text(aggregate(&profiles).top_variables(*n))
+                        }
+                        _ => Artifact::Aggregate(aggregate(&profiles)),
+                    })
+                })
+            }
+        }
     }
 
-    /// Uncached artifact construction. Per-profile analyses borrow the
-    /// stored profile through its shared [`Engine`] — no profile is ever
-    /// cloned; the memo cache amortizes the analysis itself.
+    /// Uncached artifact construction for fixed-scope queries.
+    /// Per-profile analyses borrow the stored profile through its shared
+    /// [`Engine`] — no profile is ever cloned; the memo cache amortizes
+    /// the analysis itself.
     fn build(&self, q: &Query) -> Result<Artifact, StoreError> {
         match q {
             Query::ReportJson(id) => {
@@ -743,12 +993,14 @@ impl ProfileStore {
         Ok(Analyzer::from_engine(sp.engine()))
     }
 
+    /// The current corpus, sorted by id (a deterministic order across
+    /// shard counts and interleavings).
     fn snapshot(&self) -> Result<Vec<Arc<StoredProfile>>, StoreError> {
-        let shelf = self.shelf.read();
-        if shelf.profiles.is_empty() {
+        let profiles = self.shards.corpus_sorted();
+        if profiles.is_empty() {
             return Err(StoreError::EmptyStore);
         }
-        Ok(shelf.profiles.clone())
+        Ok(profiles)
     }
 
     // ------------------------------------------------------------------
@@ -765,15 +1017,34 @@ impl ProfileStore {
         self.cache.clear();
     }
 
+    /// Per-shard accounting rows (profiles resident, ingests served,
+    /// contended lock acquisitions).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .shards
+            .iter()
+            .map(|s| ShardStats {
+                profiles: s.read().profiles.len(),
+                ingests: s.ingests.load(Ordering::Relaxed),
+                read_contended: s.read_contended.load(Ordering::Relaxed),
+                write_contended: s.write_contended.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
     pub fn stats(&self) -> StoreStats {
-        let (profiles, json_bytes, set_hash) = {
-            let shelf = self.shelf.read();
-            (
-                shelf.profiles.len(),
-                shelf.profiles.iter().map(|p| p.json_bytes).sum(),
-                shelf.set_hash,
-            )
-        };
+        let shards = self.shard_stats();
+        let (mut profiles, mut json_bytes, mut set_hash) = (0usize, 0usize, 0u64);
+        for shard in &self.shards.shards {
+            let shelf = shard.read();
+            profiles += shelf.profiles.len();
+            json_bytes += shelf
+                .profiles
+                .iter()
+                .map(|(_, p)| p.json_bytes)
+                .sum::<usize>();
+            set_hash ^= shelf.set_hash;
+        }
         StoreStats {
             profiles,
             json_bytes,
@@ -783,12 +1054,13 @@ impl ProfileStore {
             cached_artifacts: self.cache.len(),
             cache: self.cache.stats(),
             persist: self.persist_stats(),
+            shards,
         }
     }
 }
 
 /// Snapshot of store accounting.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StoreStats {
     pub profiles: usize,
     /// Total canonical-JSON footprint of the stored set.
@@ -803,6 +1075,8 @@ pub struct StoreStats {
     pub cached_artifacts: usize,
     pub cache: CacheStats,
     pub persist: PersistStats,
+    /// One row per shard shelf.
+    pub shards: Vec<ShardStats>,
 }
 
 impl StoreStats {
@@ -829,18 +1103,28 @@ impl StoreStats {
             out.push_str(&format!(
                 "persistence: recovered {} snapshot + {} wal record(s), \
                  {} truncated byte(s), {} stale parse(s); \
-                 {} append(s) ({} KiB wal), {} snapshot(s) written, {} io error(s)\n",
+                 {} append(s) in {} group commit(s) ({} KiB wal), \
+                 {} snapshot(s) written, {} io error(s)\n",
                 p.snapshot_records_loaded,
                 p.wal_records_replayed,
                 p.wal_truncated_bytes + p.snapshot_truncated_bytes,
                 p.replay_parse_failures,
                 p.wal_appends,
+                p.wal_group_commits,
                 p.wal_bytes / 1024,
                 p.snapshots_written,
                 p.io_errors,
             ));
         } else {
             out.push_str("persistence: off (in-memory store)\n");
+        }
+        out.push_str(&format!("shards: {}\n", self.shards.len()));
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "  shard {i:>2}: {} profile(s), {} ingest(s), \
+                 {} contended read(s), {} contended write(s)\n",
+                s.profiles, s.ingests, s.read_contended, s.write_contended,
+            ));
         }
         out
     }

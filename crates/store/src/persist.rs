@@ -1,0 +1,268 @@
+//! Group-commit persistence: one dedicated writer thread owns the WAL
+//! and the snapshot file, so ingest threads never do I/O.
+//!
+//! ## Commit protocol
+//!
+//! An ingest that inserted a new profile encodes its WAL record *on the
+//! ingest thread* (no lock held), enqueues it, and blocks until the
+//! persister acknowledges it. The persister drains everything queued,
+//! writes the whole batch, flushes (and `fsync`s when configured)
+//! **once**, and only then acks — in enqueue order. Under concurrent
+//! ingest load many records share one flush; a lone ingest degenerates
+//! to the old write-and-flush-per-record behaviour. Either way the
+//! store's durability contract is unchanged: an acknowledged ingest is
+//! flushed to the OS (SIGKILL-safe) before the caller's ingest returns.
+//!
+//! ## Compaction
+//!
+//! Snapshot compaction (explicit [`Persister::flush`] or automatic once
+//! the WAL outgrows its bound) also runs on the persister thread. The
+//! corpus closure clones the profile `Arc`s under brief per-shard read
+//! locks and serializes them *outside* any lock; an insert racing past
+//! the clone simply lands in both the snapshot and the fresh WAL and
+//! dedups on replay.
+//!
+//! I/O errors are counted and reported, never propagated to ingests —
+//! the store keeps serving from memory (same contract as before).
+
+use crate::wal::WalWriter;
+use crate::{PersistOptions, PersistStats};
+use parking_lot::Mutex;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Produces the `(label, canonical json, content hash)` rows a snapshot
+/// persists. Runs on the persister thread.
+pub(crate) type CorpusFn = Box<dyn Fn() -> Vec<(String, String, u64)> + Send + 'static>;
+
+enum Op {
+    /// One pre-encoded WAL record; ack fires once it is flushed.
+    Append {
+        record: Vec<u8>,
+        ack: SyncSender<()>,
+    },
+    /// Commit pending appends, then compact the WAL into a snapshot.
+    Flush { ack: SyncSender<io::Result<()>> },
+}
+
+/// Runtime counters shared between the persister thread and
+/// [`Persister::stats`] readers.
+#[derive(Default)]
+struct Shared {
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    snapshots_written: AtomicU64,
+    io_errors: AtomicU64,
+    group_commits: AtomicU64,
+}
+
+/// Handle to the group-commit writer thread. Dropping the store calls
+/// [`Persister::stop`], which drains the queue and joins the thread, so
+/// every acknowledged record is on disk before the process can observe
+/// the store as gone.
+pub(crate) struct Persister {
+    tx: Mutex<Option<Sender<Op>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    shared: Arc<Shared>,
+    /// Recovery-time constants (replay counts, truncation), fixed at
+    /// open and merged into every [`Persister::stats`] answer.
+    base: PersistStats,
+}
+
+impl Persister {
+    pub(crate) fn spawn(
+        dir: PathBuf,
+        wal: WalWriter,
+        opts: PersistOptions,
+        base: PersistStats,
+        corpus: CorpusFn,
+    ) -> io::Result<Persister> {
+        let shared = Arc::new(Shared::default());
+        shared.wal_bytes.store(wal.len(), Ordering::Relaxed);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("numa-store-persist".to_string())
+            .spawn(move || {
+                Worker {
+                    dir,
+                    wal,
+                    opts,
+                    shared: worker_shared,
+                    corpus,
+                }
+                .run(rx)
+            })?;
+        Ok(Persister {
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            shared,
+            base,
+        })
+    }
+
+    /// Enqueue a batch of pre-encoded records and block until every one
+    /// is flushed. Enqueueing the whole batch before waiting lets the
+    /// persister commit it (plus anything other threads queued) with a
+    /// single flush.
+    pub(crate) fn append_all(&self, records: Vec<Vec<u8>>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut waits = Vec::with_capacity(records.len());
+        {
+            let guard = self.tx.lock();
+            let Some(tx) = guard.as_ref() else { return };
+            for record in records {
+                let (ack, wait) = sync_channel(1);
+                if tx.send(Op::Append { record, ack }).is_err() {
+                    break;
+                }
+                waits.push(wait);
+            }
+        }
+        for wait in waits {
+            let _ = wait.recv();
+        }
+    }
+
+    /// Commit pending appends and compact the WAL into a snapshot now.
+    pub(crate) fn flush(&self) -> io::Result<()> {
+        let wait = {
+            let guard = self.tx.lock();
+            let Some(tx) = guard.as_ref() else {
+                return Ok(());
+            };
+            let (ack, wait) = sync_channel(1);
+            tx.send(Op::Flush { ack })
+                .map_err(|_| io::Error::other("persister thread stopped"))?;
+            wait
+        };
+        wait.recv()
+            .map_err(|_| io::Error::other("persister thread stopped"))?
+    }
+
+    pub(crate) fn stats(&self) -> PersistStats {
+        PersistStats {
+            wal_appends: self.shared.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.shared.wal_bytes.load(Ordering::Relaxed),
+            snapshots_written: self.shared.snapshots_written.load(Ordering::Relaxed),
+            io_errors: self.shared.io_errors.load(Ordering::Relaxed),
+            wal_group_commits: self.shared.group_commits.load(Ordering::Relaxed),
+            ..self.base
+        }
+    }
+
+    /// Close the queue and join the writer thread. Everything already
+    /// enqueued is committed first; later appends are dropped silently
+    /// (their ack channel reports disconnection, never a hang).
+    pub(crate) fn stop(&self) {
+        drop(self.tx.lock().take());
+        if let Some(worker) = self.worker.lock().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// State owned by the persister thread.
+struct Worker {
+    dir: PathBuf,
+    wal: WalWriter,
+    opts: PersistOptions,
+    shared: Arc<Shared>,
+    corpus: CorpusFn,
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<Op>) {
+        // recv() returns Err only once the queue is empty *and* every
+        // sender is gone, so shutdown never drops a queued record.
+        while let Ok(first) = rx.recv() {
+            let mut batch = vec![first];
+            while let Ok(op) = rx.try_recv() {
+                batch.push(op);
+            }
+            self.process(batch);
+        }
+    }
+
+    /// Acks fire only at the end (or at an explicit flush), *after* the
+    /// batch's single commit and any threshold compaction — so counters
+    /// an ingester reads right after its ack (`snapshots_written`,
+    /// `wal_appends`) already reflect its record, exactly as the old
+    /// synchronous appender behaved.
+    fn process(&mut self, batch: Vec<Op>) {
+        let mut acks: Vec<SyncSender<()>> = Vec::new();
+        let mut staged = 0u64;
+        for op in batch {
+            match op {
+                Op::Append { record, ack } => {
+                    match self.wal.write_encoded(&record) {
+                        Ok(_) => staged += 1,
+                        Err(e) => {
+                            self.shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("numa-store: WAL append failed: {e}");
+                        }
+                    }
+                    // Failed appends are acked too: the ingest already
+                    // succeeded in memory and must not hang.
+                    acks.push(ack);
+                }
+                Op::Flush { ack } => {
+                    self.commit_staged(&mut staged);
+                    let result = self.compact();
+                    for a in acks.drain(..) {
+                        let _ = a.send(());
+                    }
+                    let _ = ack.send(result);
+                }
+            }
+        }
+        self.commit_staged(&mut staged);
+        if self.wal.len() >= self.opts.snapshot_wal_bytes {
+            if let Err(e) = self.compact() {
+                self.shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("numa-store: snapshot compaction failed: {e}");
+            }
+        }
+        for ack in acks.drain(..) {
+            let _ = ack.send(());
+        }
+    }
+
+    /// One durability point for everything staged since the last commit.
+    fn commit_staged(&mut self, staged: &mut u64) {
+        if *staged > 0 {
+            if let Err(e) = self.wal.commit() {
+                self.shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("numa-store: WAL commit failed: {e}");
+            }
+            self.shared
+                .wal_appends
+                .fetch_add(*staged, Ordering::Relaxed);
+            self.shared.group_commits.fetch_add(1, Ordering::Relaxed);
+            *staged = 0;
+        }
+        self.shared
+            .wal_bytes
+            .store(self.wal.len(), Ordering::Relaxed);
+    }
+
+    /// Snapshot the whole corpus atomically and reset the WAL.
+    fn compact(&mut self) -> io::Result<()> {
+        let entries = (self.corpus)();
+        crate::snapshot::write_snapshot(&self.dir, &entries)?;
+        self.wal.reset()?;
+        self.shared
+            .snapshots_written
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .wal_bytes
+            .store(self.wal.len(), Ordering::Relaxed);
+        Ok(())
+    }
+}

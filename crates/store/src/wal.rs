@@ -229,13 +229,28 @@ impl WalWriter {
     /// configured). Returns the record's encoded size.
     pub fn append(&mut self, label: &str, json: &str, content_hash: u64) -> io::Result<u64> {
         let record = encode_record(label, json, content_hash);
-        self.file.write_all(&record)?;
+        self.write_encoded(&record)?;
+        self.commit()?;
+        Ok(record.len() as u64)
+    }
+
+    /// Buffer one pre-encoded record (see [`encode_record`]) without
+    /// flushing. A group-commit writer stages a whole batch this way and
+    /// then makes it durable with one [`WalWriter::commit`].
+    pub fn write_encoded(&mut self, record: &[u8]) -> io::Result<u64> {
+        self.file.write_all(record)?;
+        self.bytes += record.len() as u64;
+        Ok(record.len() as u64)
+    }
+
+    /// Flush staged records to the OS (plus `fsync` when configured):
+    /// one durability point for however many records were staged.
+    pub fn commit(&mut self) -> io::Result<()> {
         self.file.flush()?;
         if self.fsync {
             self.file.sync_data()?;
         }
-        self.bytes += record.len() as u64;
-        Ok(record.len() as u64)
+        Ok(())
     }
 
     /// Current WAL size in bytes (header included).
@@ -335,6 +350,24 @@ mod tests {
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.records[0].label, "one");
         assert_eq!(scan.valid_len, first_end);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_writes_commit_as_one_durability_point() {
+        let dir = tmp("batch");
+        let path = wal_path(&dir);
+        let mut w = WalWriter::open_after(&path, 0, false).unwrap();
+        let json = "{\"k\":1}";
+        for label in ["a", "b", "c"] {
+            w.write_encoded(&encode_record(label, json, fnv1a(json.as_bytes())))
+                .unwrap();
+        }
+        w.commit().unwrap();
+        let scan = scan_file(&path, WAL_MAGIC).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.valid_len, w.len());
+        assert_eq!(scan.truncated_bytes, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

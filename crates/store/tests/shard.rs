@@ -1,0 +1,184 @@
+//! Sharded-store tests: any interleaving of concurrent `ingest_batch` +
+//! pooled `query` + `clear_cache` across shards must leave the store
+//! indistinguishable (set hash and aggregate text) from a single-shard
+//! oracle that applied the same ingests sequentially — sharding is a
+//! performance layout, never a semantic change.
+
+use numa_machine::{Machine, MachinePreset, PlacementPolicy};
+use numa_profiler::{finish_profile, NumaProfile, NumaProfiler, ProfilerConfig};
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_sim::{ExecMode, Program};
+use numa_store::{ProfileStore, StoreConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A small profile; `rounds` varies the content hash.
+fn profile(rounds: usize) -> NumaProfile {
+    let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
+    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8));
+    let profiler = std::sync::Arc::new(NumaProfiler::new(machine.clone(), config, 4));
+    let mut p = Program::new(machine, 4, ExecMode::Sequential, profiler.clone());
+    let size = 1u64 << 18;
+    let mut base = 0;
+    p.serial("main", |ctx| {
+        base = ctx.alloc("z", size, PlacementPolicy::FirstTouch);
+        ctx.store_range(base, size / 64, 64);
+    });
+    for _ in 0..rounds {
+        p.parallel("compute._omp", |tid, ctx| {
+            let chunk = size / 4;
+            ctx.load_range(base + tid as u64 * chunk, chunk / 64, 64);
+        });
+    }
+    finish_profile(p, profiler)
+}
+
+/// Canonical JSON of four distinct profiles, generated once per test
+/// process (profiler sampling is randomized, so the same `rounds` twice
+/// would produce different content).
+fn corpus() -> &'static [String; 4] {
+    static CORPUS: OnceLock<[String; 4]> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        [
+            profile(1).to_json(),
+            profile(2).to_json(),
+            profile(3).to_json(),
+            profile(4).to_json(),
+        ]
+    })
+}
+
+fn sharded(shards: usize) -> ProfileStore {
+    ProfileStore::with_config(StoreConfig {
+        shards,
+        ..StoreConfig::default()
+    })
+}
+
+proptest! {
+    /// Ops are `(kind, profile index)`: kind 0 = ingest_batch of that
+    /// profile, 1 = pooled aggregate query, 2 = clear_cache. The op list
+    /// is dealt round-robin to `threads` OS threads running against an
+    /// 8-shard store; the oracle replays the ingests sequentially into a
+    /// single-shard store.
+    #[test]
+    fn concurrent_ops_match_single_shard_oracle(
+        ops in prop::collection::vec((0usize..3, 0usize..4), 1..16),
+        threads in 1usize..4,
+    ) {
+        let corpus = corpus();
+        let store = sharded(8);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let ops = &ops;
+                let store = &store;
+                s.spawn(move || {
+                    for (kind, idx) in ops.iter().skip(t).step_by(threads) {
+                        match kind {
+                            0 => {
+                                let inputs =
+                                    vec![(format!("run-{idx}"), corpus[*idx].clone())];
+                                store.ingest_batch(&inputs);
+                            }
+                            1 => {
+                                // EmptyStore is legal mid-interleaving.
+                                let _ = store.aggregate();
+                            }
+                            _ => store.clear_cache(),
+                        }
+                    }
+                });
+            }
+        });
+
+        let oracle = sharded(1);
+        for (kind, idx) in &ops {
+            if *kind == 0 {
+                oracle
+                    .ingest_bytes(&format!("run-{idx}"), &corpus[*idx])
+                    .expect("corpus parses");
+            }
+        }
+        prop_assert_eq!(store.len(), oracle.len());
+        prop_assert_eq!(store.set_hash(), oracle.set_hash());
+        if !store.is_empty() {
+            prop_assert_eq!(
+                store.aggregate().expect("non-empty").text(),
+                oracle.aggregate().expect("non-empty").text()
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_count_rounds_to_power_of_two_and_clamps() {
+    assert_eq!(sharded(1).shard_count(), 1);
+    assert_eq!(sharded(5).shard_count(), 8);
+    assert_eq!(sharded(8).shard_count(), 8);
+    assert_eq!(sharded(0).shard_count(), 1);
+    assert_eq!(sharded(10_000).shard_count(), 256);
+}
+
+#[test]
+fn listings_preserve_insertion_order_across_shards() {
+    let corpus = corpus();
+    let store = sharded(8);
+    for (i, json) in corpus.iter().enumerate() {
+        store
+            .ingest_bytes(&format!("run-{i}"), json)
+            .expect("parses");
+    }
+    let labels: Vec<String> = store
+        .entries()
+        .iter()
+        .map(|e| e.label.to_string())
+        .collect();
+    assert_eq!(labels, ["run-0", "run-1", "run-2", "run-3"]);
+    // ids() and entries() agree on the order.
+    let ids: Vec<_> = store.entries().iter().map(|e| e.id).collect();
+    assert_eq!(ids, store.ids());
+}
+
+#[test]
+fn shard_stats_account_for_every_profile_and_ingest() {
+    let corpus = corpus();
+    let store = sharded(8);
+    for (i, json) in corpus.iter().enumerate() {
+        store
+            .ingest_bytes(&format!("run-{i}"), json)
+            .expect("parses");
+    }
+    // Re-ingest one duplicate: counted as a dedup hit, not a shard ingest.
+    store.ingest_bytes("dup", &corpus[0]).expect("parses");
+
+    let stats = store.stats();
+    assert_eq!(stats.shards.len(), 8);
+    assert_eq!(stats.shards.iter().map(|s| s.profiles).sum::<usize>(), 4);
+    assert_eq!(stats.shards.iter().map(|s| s.ingests).sum::<u64>(), 4);
+    assert_eq!(stats.deduplicated, 1);
+    let rendered = stats.render();
+    assert!(rendered.contains("shards: 8"), "{rendered}");
+    assert!(rendered.contains("shard  0:"), "{rendered}");
+}
+
+#[test]
+fn single_shard_matches_default_semantics() {
+    let corpus = corpus();
+    let one = sharded(1);
+    let eight = sharded(8);
+    for (i, json) in corpus.iter().enumerate() {
+        one.ingest_bytes(&format!("run-{i}"), json).expect("parses");
+    }
+    // Reverse order into the 8-shard store: set hash is order- and
+    // layout-insensitive.
+    for (i, json) in corpus.iter().enumerate().rev() {
+        eight
+            .ingest_bytes(&format!("run-{i}"), json)
+            .expect("parses");
+    }
+    assert_eq!(one.set_hash(), eight.set_hash());
+    assert_eq!(
+        one.aggregate().expect("non-empty").text(),
+        eight.aggregate().expect("non-empty").text()
+    );
+}

@@ -91,7 +91,7 @@ fn durable_store_round_trips_across_reopen() {
     assert_eq!(p.snapshot_records_loaded, 0);
     assert_eq!(p.wal_truncated_bytes, 0);
     // Labels survive the round trip too.
-    assert_eq!(store.resolve("run-3").unwrap().label, "run-3");
+    assert_eq!(&*store.resolve("run-3").unwrap().label, "run-3");
     std::fs::remove_dir_all(&dir).ok();
 }
 
