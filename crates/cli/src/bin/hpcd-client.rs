@@ -6,6 +6,7 @@
 //! ```text
 //! hpcd-client --addr 127.0.0.1:7701 --cmd ping
 //! hpcd-client --addr 127.0.0.1:7701 --cmd ingest --file run.json
+//! hpcd-client --addr 127.0.0.1:7701 --cmd stream --file run.json --chunk-threads 2
 //! hpcd-client --addr 127.0.0.1:7701 --cmd list
 //! hpcd-client --addr 127.0.0.1:7701 --cmd aggregate
 //! hpcd-client --addr 127.0.0.1:7701 --cmd top --n 5
@@ -17,13 +18,18 @@
 //! hpcd-client --addr 127.0.0.1:7701 --cmd shutdown
 //! ```
 
-use numa_server::{Client, ClientError, ReportFormat};
+use numa_profiler::NumaProfile;
+use numa_server::{caps, Client, ClientError, ReportFormat};
+use numa_store::stream::split_profile;
 use numa_tools::{die, Args};
+use std::time::Duration;
 
 const USAGE: &str = "\
-usage: hpcd-client --addr HOST:PORT --cmd ping|ingest|list|resolve|aggregate|top|report|view|cct|diff|stats|server-stats|clear-cache|shutdown
-                   [--file FILE]          (ingest: profile JSON to send)
-                   [--label NAME]         (ingest: label; default = file name)
+usage: hpcd-client --addr HOST:PORT --cmd ping|ingest|stream|list|resolve|aggregate|top|report|view|cct|diff|stats|server-stats|clear-cache|shutdown
+                   [--file FILE]          (ingest/stream: profile JSON to send)
+                   [--label NAME]         (ingest/stream: label; default = file name)
+                   [--chunk-threads N]    (stream: threads per chunk; default 2)
+                   [--chunk-delay-ms N]   (stream: pause between chunks; default 0)
                    [--n N]                (top: how many variables; default 5)
                    [--profile REF]        (report/view/cct/resolve: id prefix or label)
                    [--var NAME]           (view: variable source name)
@@ -31,6 +37,7 @@ usage: hpcd-client --addr HOST:PORT --cmd ping|ingest|list|resolve|aggregate|top
                    [--before REF --after REF]  (diff)
                    [--format text|json]   (report; default text)
                    [--timeout-ms N]       (socket timeout; default 10000)
+                   [--connect-retry-ms N] (retry connecting for up to N ms; default 0 = one attempt)
                    [--out FILE]";
 
 fn main() {
@@ -40,6 +47,8 @@ fn main() {
         "cmd",
         "file",
         "label",
+        "chunk-threads",
+        "chunk-delay-ms",
         "n",
         "profile",
         "var",
@@ -48,6 +57,7 @@ fn main() {
         "after",
         "format",
         "timeout-ms",
+        "connect-retry-ms",
         "out",
     ])
     .unwrap_or_else(|e| die(USAGE, &e));
@@ -58,9 +68,15 @@ fn main() {
     let timeout_ms: u64 = args
         .get_parsed("timeout-ms", 10_000)
         .unwrap_or_else(|e| die(USAGE, &e));
-    let mut client =
-        Client::connect_with_timeout(addr, std::time::Duration::from_millis(timeout_ms))
-            .unwrap_or_else(|e| die(USAGE, &format!("cannot connect to {addr}: {e}")));
+    let retry_ms: u64 = args
+        .get_parsed("connect-retry-ms", 0)
+        .unwrap_or_else(|e| die(USAGE, &e));
+    let mut client = if retry_ms > 0 {
+        Client::connect_retry(addr, Duration::from_millis(retry_ms))
+    } else {
+        Client::connect_with_timeout(addr, Duration::from_millis(timeout_ms))
+    }
+    .unwrap_or_else(|e| die(USAGE, &format!("cannot connect to {addr}: {e}")));
 
     let require = |key: &str| -> &str {
         args.get(key)
@@ -69,8 +85,43 @@ fn main() {
 
     let output = match args.get_or("cmd", "ping") {
         "ping" => {
-            run(client.ping());
-            format!("hpcd-client: {addr} is alive\n")
+            let server_caps = run(client.ping());
+            format!(
+                "hpcd-client: {addr} is alive, capabilities {}\n",
+                caps::render(server_caps)
+            )
+        }
+        "stream" => {
+            let file = require("file");
+            let json = std::fs::read_to_string(file)
+                .unwrap_or_else(|e| die(USAGE, &format!("cannot read {file}: {e}")));
+            let profile = NumaProfile::from_json(&json)
+                .unwrap_or_else(|e| die(USAGE, &format!("cannot parse {file}: {e}")));
+            let label = args.get("label").unwrap_or(file);
+            let per: usize = args
+                .get_parsed("chunk-threads", 2)
+                .unwrap_or_else(|e| die(USAGE, &e));
+            let delay_ms: u64 = args
+                .get_parsed("chunk-delay-ms", 0)
+                .unwrap_or_else(|e| die(USAGE, &e));
+            let (id, added, chunks) = if delay_ms == 0 {
+                run(client.stream_profile(label, &profile, per))
+            } else {
+                // Paced streaming (demos, and tests that need a window
+                // to kill the client mid-session).
+                let info = run(client.open_session(label));
+                for (seq, chunk) in split_profile(&profile, per).iter().enumerate() {
+                    if seq > 0 {
+                        std::thread::sleep(Duration::from_millis(delay_ms));
+                    }
+                    run(client.append_chunk(info.session, seq as u64, &chunk.to_json()));
+                }
+                run(client.seal_session(info.session))
+            };
+            format!(
+                "{id}  {label} ({}, {chunks} chunk(s) streamed)\n",
+                if added { "added" } else { "deduplicated" }
+            )
         }
         "ingest" => {
             let file = require("file");

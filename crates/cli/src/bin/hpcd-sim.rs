@@ -17,7 +17,7 @@
 //! flushes the store (final snapshot compaction) and exits 0, printing
 //! a final stats snapshot to stderr.
 
-use numa_server::{Server, ServerConfig};
+use numa_server::{LiveConfig, Server, ServerConfig};
 use numa_store::{PersistOptions, ProfileStore, StoreConfig};
 use numa_tools::{die, Args};
 use std::path::Path;
@@ -36,7 +36,10 @@ usage: hpcd-sim [--listen ADDR]          (default 127.0.0.1:7701; port 0 = ephem
                 [--read-timeout-ms N]    (per-connection; default 10000)
                 [--write-timeout-ms N]   (per-connection; default 10000)
                 [--cache-capacity N]     (memoized artifacts; default 256)
-                [--shards N]             (store shard count, rounded to a power of two; default 8)";
+                [--shards N]             (store shard count, rounded to a power of two; default 8)
+                [--session-lease-ms N]   (streaming-session lease; default 30000)
+                [--session-max-kib N]    (per-session buffer cap in KiB; default 65536)
+                [--max-sessions N]       (concurrent streaming sessions; default 64)";
 
 fn main() {
     let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
@@ -53,6 +56,9 @@ fn main() {
         "write-timeout-ms",
         "cache-capacity",
         "shards",
+        "session-lease-ms",
+        "session-max-kib",
+        "max-sessions",
     ])
     .unwrap_or_else(|e| die(USAGE, &e));
 
@@ -84,6 +90,26 @@ fn main() {
             args.get_parsed("write-timeout-ms", 10_000)
                 .unwrap_or_else(|e| die(USAGE, &e)),
         ),
+        live: {
+            let lease_ms: u64 = args
+                .get_parsed("session-lease-ms", 30_000)
+                .unwrap_or_else(|e| die(USAGE, &e));
+            let max_session_bytes = args
+                .get_parsed::<usize>("session-max-kib", 64 * 1024)
+                .unwrap_or_else(|e| die(USAGE, &e))
+                .saturating_mul(1024);
+            LiveConfig {
+                lease: Duration::from_millis(lease_ms.max(1)),
+                max_session_bytes,
+                max_sessions: args
+                    .get_parsed("max-sessions", 64)
+                    .unwrap_or_else(|e| die(USAGE, &e)),
+                // Short leases (tests, demos) deserve a janitor that
+                // actually notices them expiring.
+                janitor_period: Duration::from_millis((lease_ms / 4).clamp(10, 250)),
+                ..LiveConfig::default()
+            }
+        },
         ..ServerConfig::default()
     };
 
@@ -106,12 +132,15 @@ fn main() {
             let p = store.persist_stats();
             eprintln!(
                 "hpcd-sim: recovered {} profile(s) from {dir} \
-                 ({} snapshot + {} wal record(s), {} truncated byte(s), {} stale parse(s))",
+                 ({} snapshot + {} wal record(s), {} truncated byte(s), {} stale parse(s); \
+                 sessions: {} recovered, {} dropped)",
                 store.len(),
                 p.snapshot_records_loaded,
                 p.wal_records_replayed,
                 p.wal_truncated_bytes + p.snapshot_truncated_bytes,
                 p.replay_parse_failures,
+                p.sessions_recovered,
+                p.sessions_dropped,
             );
             Arc::new(store)
         }

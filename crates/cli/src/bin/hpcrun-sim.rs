@@ -5,13 +5,21 @@
 //! ```text
 //! hpcrun-sim --workload lulesh --variant baseline --machine amd \
 //!            --mechanism ibs --threads 48 --out lulesh.profile.json
+//! hpcrun-sim --workload lulesh --stream 127.0.0.1:7701 --chunk-threads 4
 //! ```
+//!
+//! With `--stream ADDR` the measurement is delivered to a running
+//! `hpcd-sim` daemon over a streaming ingestion session (per-thread
+//! chunks, sealed at the end) instead of being written to a file; add
+//! `--out` explicitly to do both.
 
 use numa_profiler::ProfilerConfig;
 use numa_sampling::MechanismConfig;
+use numa_server::Client;
 use numa_sim::ExecMode;
 use numa_tools::{die, parse_machine, parse_mechanism, parse_workload, Args};
 use numa_workloads::run_profiled;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage: hpcrun-sim [--workload lulesh|amg2006|blackscholes|umt2013]
@@ -24,7 +32,12 @@ usage: hpcrun-sim [--workload lulesh|amg2006|blackscholes|umt2013]
                   [--bins N]                 (address-centric bins, default 5)
                   [--mode seq|par]           (default seq)
                   [--trace CYCLES]           (record a time series, 1 point/CYCLES)
-                  [--out FILE]               (default profile.json)";
+                  [--stream HOST:PORT]       (stream the profile to a hpcd-sim daemon)
+                  [--chunk-threads N]        (stream: threads per chunk; default 4)
+                  [--label NAME]             (stream: label; default workload-variant)
+                  [--connect-retry-ms N]     (stream: retry connecting up to N ms; default 5000)
+                  [--out FILE]               (default profile.json; skipped when streaming
+                                              unless given explicitly)";
 
 fn main() {
     let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
@@ -39,6 +52,10 @@ fn main() {
         "bins",
         "mode",
         "trace",
+        "stream",
+        "chunk-threads",
+        "label",
+        "connect-retry-ms",
         "out",
     ])
     .unwrap_or_else(|e| die(USAGE, &e));
@@ -67,7 +84,8 @@ fn main() {
         "par" => ExecMode::Parallel,
         other => die(USAGE, &format!("unknown mode {other:?}")),
     };
-    let out = args.get_or("out", "profile.json").to_string();
+    let stream_addr = args.get("stream").map(str::to_string);
+    let explicit_out = args.get("out").map(str::to_string);
 
     let mut config = ProfilerConfig::new(MechanismConfig::scaled(mechanism, scale))
         .with_bins(bins)
@@ -98,6 +116,34 @@ fn main() {
             .map(|t| t.totals.samples_mem)
             .sum::<u64>()
     );
-    std::fs::write(&out, profile.to_json()).unwrap_or_else(|e| die(USAGE, &e.to_string()));
-    eprintln!("hpcrun-sim: wrote {out}");
+    if let Some(addr) = &stream_addr {
+        let per: usize = args
+            .get_parsed("chunk-threads", 4)
+            .unwrap_or_else(|e| die(USAGE, &e));
+        let retry_ms: u64 = args
+            .get_parsed("connect-retry-ms", 5_000)
+            .unwrap_or_else(|e| die(USAGE, &e));
+        let default_label = format!(
+            "{}-{}",
+            args.get_or("workload", "lulesh"),
+            args.get_or("variant", "baseline")
+        );
+        let label = args.get_or("label", &default_label);
+        let mut client = Client::connect_retry(addr, Duration::from_millis(retry_ms.max(1)))
+            .unwrap_or_else(|e| die(USAGE, &format!("cannot connect to {addr}: {e}")));
+        let (id, added, chunks) = client
+            .stream_profile(label, &profile, per)
+            .unwrap_or_else(|e| die(USAGE, &format!("streaming to {addr} failed: {e}")));
+        eprintln!(
+            "hpcrun-sim: streamed {label} to {addr} in {chunks} chunk(s): {id} ({})",
+            if added { "added" } else { "deduplicated" }
+        );
+    }
+    // Streaming replaces the file write unless --out was given
+    // explicitly; batch runs keep the profile.json default.
+    if stream_addr.is_none() || explicit_out.is_some() {
+        let out = explicit_out.unwrap_or_else(|| "profile.json".to_string());
+        std::fs::write(&out, profile.to_json()).unwrap_or_else(|e| die(USAGE, &e.to_string()));
+        eprintln!("hpcrun-sim: wrote {out}");
+    }
 }

@@ -2,14 +2,16 @@
 //! request/response exchange per call, typed errors throughout.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, ProfileEntry, RecvError,
+    decode_response, encode_request, read_frame, write_frame_flags, ProfileEntry, RecvError,
     ReportFormat, Request, Response, ServerStatsReport, WireError, DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
 };
+use numa_profiler::NumaProfile;
+use numa_store::stream::split_profile;
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -58,12 +60,24 @@ impl From<RecvError> for ClientError {
     }
 }
 
+/// What [`Client::open_session`] hands back: the session id plus the
+/// limits and lease the daemon imposes.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionInfo {
+    pub session: u64,
+    /// Append at least once per lease or the janitor reaps the session.
+    pub lease_ms: u64,
+    pub max_chunk_bytes: u64,
+    pub max_session_bytes: u64,
+}
+
 /// A blocking connection to an `hpcd-sim` daemon. Requests on one
 /// client are serialized (the protocol has no pipelining); use one
 /// client per thread for concurrency.
 pub struct Client {
     stream: TcpStream,
     max_frame: usize,
+    server_caps: Option<u16>,
 }
 
 impl Client {
@@ -87,7 +101,48 @@ impl Client {
         Ok(Client {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
+            server_caps: None,
         })
+    }
+
+    /// Connect to a daemon that may still be starting: retry with
+    /// capped exponential backoff (10 ms doubling to 500 ms) until a
+    /// connection succeeds or `deadline` elapses, then return the last
+    /// connect error. Replaces the ping-poll loops tests and scripts
+    /// used to spin while a daemon bound its port.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs,
+        deadline: Duration,
+    ) -> Result<Client, ClientError> {
+        let give_up = Instant::now() + deadline;
+        let mut backoff = Duration::from_millis(10);
+        loop {
+            let remaining = give_up.saturating_duration_since(Instant::now());
+            let attempt = remaining.clamp(Duration::from_millis(10), Duration::from_secs(5));
+            match Self::connect_with_timeout(&addr, attempt) {
+                Ok(c) => {
+                    // The attempt timeout can be tiny near the deadline;
+                    // restore sane per-op socket timeouts for the
+                    // connection's working life.
+                    c.stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+                    c.stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+                    return Ok(c);
+                }
+                Err(e) => {
+                    if Instant::now() + backoff >= give_up {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                }
+            }
+        }
+    }
+
+    /// Capability bits the daemon advertised on its most recent
+    /// response frame; `None` before the first exchange.
+    pub fn server_caps(&self) -> Option<u16> {
+        self.server_caps
     }
 
     /// Override the local frame cap (must match the daemon's to ingest
@@ -100,9 +155,13 @@ impl Client {
     /// back as `Ok(Response::Error(..))`; use [`Client::call`] to have
     /// them folded into `Err`.
     pub fn call_raw(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(
+        // The request frame declares the capabilities the op relies on
+        // (e.g. STREAMING on session ops) so an older daemon answers
+        // with a typed `Unsupported` instead of killing the connection.
+        write_frame_flags(
             &mut self.stream,
             PROTOCOL_VERSION,
+            req.required_caps(),
             &encode_request(req),
             self.max_frame,
         )?;
@@ -114,6 +173,7 @@ impl Client {
                 supported: PROTOCOL_VERSION,
             }));
         }
+        self.server_caps = Some(frame.flags);
         decode_response(&frame.payload).map_err(ClientError::Server)
     }
 
@@ -127,9 +187,11 @@ impl Client {
 
     // -- typed convenience wrappers ------------------------------------
 
-    pub fn ping(&mut self) -> Result<(), ClientError> {
+    /// Liveness probe. Returns the capability bits the daemon
+    /// advertises (see [`crate::protocol::caps`]).
+    pub fn ping(&mut self) -> Result<u16, ClientError> {
         match self.call(&Request::Ping)? {
-            Response::Pong => Ok(()),
+            Response::Pong => Ok(self.server_caps.unwrap_or(0)),
             other => Err(unexpected("Pong", &other)),
         }
     }
@@ -228,6 +290,81 @@ impl Client {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("ShuttingDown", &other)),
         }
+    }
+
+    // -- streaming sessions --------------------------------------------
+
+    /// Open a streaming ingestion session.
+    pub fn open_session(&mut self, label: &str) -> Result<SessionInfo, ClientError> {
+        let req = Request::OpenSession {
+            label: label.to_string(),
+        };
+        match self.call(&req)? {
+            Response::SessionOpened {
+                session,
+                lease_ms,
+                max_chunk_bytes,
+                max_session_bytes,
+            } => Ok(SessionInfo {
+                session,
+                lease_ms,
+                max_chunk_bytes,
+                max_session_bytes,
+            }),
+            other => Err(unexpected("SessionOpened", &other)),
+        }
+    }
+
+    /// Append chunk `seq` (strictly sequential from 0). Returns the
+    /// daemon-wide buffered bytes after the append.
+    pub fn append_chunk(
+        &mut self,
+        session: u64,
+        seq: u64,
+        chunk: &str,
+    ) -> Result<u64, ClientError> {
+        let req = Request::AppendChunk {
+            session,
+            seq,
+            chunk: chunk.to_string(),
+        };
+        match self.call(&req)? {
+            Response::ChunkAppended { open_bytes, .. } => Ok(open_bytes),
+            other => Err(unexpected("ChunkAppended", &other)),
+        }
+    }
+
+    /// Seal a session. Returns `(id, newly_added, chunks)`.
+    pub fn seal_session(&mut self, session: u64) -> Result<(String, bool, u64), ClientError> {
+        match self.call(&Request::SealSession { session })? {
+            Response::SessionSealed { id, added, chunks } => Ok((id, added, chunks)),
+            other => Err(unexpected("SessionSealed", &other)),
+        }
+    }
+
+    /// Abort a session, discarding everything buffered for it.
+    pub fn abort_session(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.call(&Request::AbortSession { session })? {
+            Response::SessionAborted { .. } => Ok(()),
+            other => Err(unexpected("SessionAborted", &other)),
+        }
+    }
+
+    /// Stream a whole profile through a session: open, split into
+    /// chunks of `threads_per_chunk` threads, append in sequence, seal.
+    /// Returns `(id, newly_added, chunks)` — identical to what one-shot
+    /// [`Client::ingest`] of the same profile would have stored.
+    pub fn stream_profile(
+        &mut self,
+        label: &str,
+        profile: &NumaProfile,
+        threads_per_chunk: usize,
+    ) -> Result<(String, bool, u64), ClientError> {
+        let info = self.open_session(label)?;
+        for (seq, chunk) in split_profile(profile, threads_per_chunk).iter().enumerate() {
+            self.append_chunk(info.session, seq as u64, &chunk.to_json())?;
+        }
+        self.seal_session(info.session)
     }
 
     fn text(&mut self, req: &Request) -> Result<String, ClientError> {

@@ -17,7 +17,14 @@
 //!   async runtime; threads and channels are the concurrency model),
 //!   per-connection timeouts, and drain-on-shutdown.
 //! * [`client`] — a blocking [`client::Client`] used by `hpcd-client`
-//!   and the tests/benches; one typed method per daemon op.
+//!   and the tests/benches; one typed method per daemon op, plus
+//!   streaming-session verbs and [`client::Client::stream_profile`].
+//!
+//! Streaming ingestion (the `numa-live` crate's sessions) rides the
+//! same frame format: the header's flags word carries capability bits
+//! ([`protocol::caps`]), session ops are ordinary request/response
+//! round trips, and a daemon that predates streaming answers them with
+//! a typed [`protocol::WireError::Unsupported`] instead of hanging up.
 //! * [`metrics`] — per-op request/error counters and a fixed-bucket
 //!   latency histogram, surfaced remotely via the `server-stats` op.
 //!
@@ -29,9 +36,10 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, SessionInfo};
+pub use numa_live::LiveConfig;
 pub use protocol::{
-    FrameDecoder, FrameError, ProfileEntry, RecvError, ReportFormat, Request, Response,
+    caps, FrameDecoder, FrameError, ProfileEntry, RecvError, ReportFormat, Request, Response,
     ServerStatsReport, WireError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ShutdownHandle};

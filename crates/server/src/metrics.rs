@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct OpSlot(usize);
 
 impl OpSlot {
-    pub const NAMES: [&'static str; 15] = [
+    pub const NAMES: [&'static str; 19] = [
         "ping",
         "ingest",
         "list",
@@ -31,6 +31,10 @@ impl OpSlot {
         "server-stats",
         "clear-cache",
         "shutdown",
+        "open-session",
+        "append-chunk",
+        "seal-session",
+        "abort-session",
         "unknown",
     ];
     pub const COUNT: usize = Self::NAMES.len();

@@ -6,7 +6,7 @@
 //! ```text
 //! offset 0..4    magic      b"HPCD"
 //! offset 4..6    version    u16 — protocol revision, see [`PROTOCOL_VERSION`]
-//! offset 6..8    reserved   u16 — must be zero (room for future flags)
+//! offset 6..8    flags      u16 — capability bits, see [`caps`]
 //! offset 8..12   length     u32 — payload byte count
 //! offset 12..    payload    `length` bytes of UTF-8 JSON
 //! ```
@@ -16,13 +16,21 @@
 //! buffered. Truncation (EOF inside a frame) is reported distinctly
 //! from a clean EOF at a frame boundary.
 //!
-//! ## Version rules
+//! ## Version and capability rules
 //!
 //! Every frame carries the sender's protocol version. The daemon
 //! accepts exactly [`PROTOCOL_VERSION`]; on mismatch it answers with a
 //! [`WireError::UnsupportedVersion`] response (framed with its *own*
-//! version) and closes the connection. The reserved field must be zero
-//! today so it can become a flags word later without ambiguity.
+//! version) and closes the connection.
+//!
+//! The flags word (the header field that was required-zero before
+//! capability bits existed) carries [`caps`] bits. A client sets the
+//! capability a request relies on (e.g. [`caps::STREAMING`] on session
+//! ops); the daemon answers a request whose bits it does not implement
+//! with a typed [`WireError::Unsupported`] — the connection stays
+//! usable, unlike the old behavior of hanging up on any non-zero word.
+//! Every daemon response frame advertises the full [`caps::SUPPORTED`]
+//! set, so one `ping` round trip tells a client what the server can do.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -41,6 +49,40 @@ pub const HEADER_LEN: usize = 12;
 /// emits with generous headroom while bounding per-connection memory.
 pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
 
+/// Capability bits carried in the frame header's flags word.
+///
+/// A request frame sets the bits the request relies on; a response
+/// frame advertises everything the daemon implements. Unknown bits in a
+/// request draw a typed [`WireError::Unsupported`] instead of a closed
+/// connection, so a newer client downgrades gracefully against an older
+/// daemon.
+pub mod caps {
+    /// Streaming ingestion sessions: `OpenSession` / `AppendChunk` /
+    /// `SealSession` / `AbortSession`.
+    pub const STREAMING: u16 = 1 << 0;
+
+    /// Every capability this build implements; response frames carry
+    /// this set.
+    pub const SUPPORTED: u16 = STREAMING;
+
+    /// Render a capability set for display (`ping` output, errors).
+    pub fn render(flags: u16) -> String {
+        let mut names = Vec::new();
+        if flags & STREAMING != 0 {
+            names.push("streaming");
+        }
+        let unknown = flags & !SUPPORTED;
+        if unknown != 0 {
+            names.push("unknown");
+        }
+        if names.is_empty() {
+            format!("{flags:#06x} (none)")
+        } else {
+            format!("{flags:#06x} ({})", names.join(", "))
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Framing errors
 // ---------------------------------------------------------------------------
@@ -50,8 +92,6 @@ pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
 pub enum FrameError {
     /// The first four bytes were not [`MAGIC`].
     BadMagic([u8; 4]),
-    /// The reserved field was non-zero.
-    NonZeroReserved(u16),
     /// Declared payload length exceeds the receiver's cap.
     Oversized { len: usize, max: usize },
 }
@@ -60,9 +100,6 @@ impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?} (expected {MAGIC:?})"),
-            FrameError::NonZeroReserved(r) => {
-                write!(f, "reserved header field must be zero, got {r:#06x}")
-            }
             FrameError::Oversized { len, max } => {
                 write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
             }
@@ -125,10 +162,14 @@ impl From<FrameError> for RecvError {
 // Encoding
 // ---------------------------------------------------------------------------
 
-/// One decoded frame: the sender's version plus the raw payload.
+/// One decoded frame: the sender's version and capability flags plus
+/// the raw payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
     pub version: u16,
+    /// Capability bits ([`caps`]). Requests set what they rely on;
+    /// responses advertise what the daemon implements.
+    pub flags: u16,
     pub payload: Vec<u8>,
 }
 
@@ -143,26 +184,43 @@ pub fn frame_len(payload_len: usize) -> Result<u32, FrameError> {
     })
 }
 
-/// Serialize a frame into a byte vector. Fails (rather than emitting a
-/// corrupt header) when the payload does not fit the `u32` length
-/// field.
+/// Serialize a frame with no capability flags. Fails (rather than
+/// emitting a corrupt header) when the payload does not fit the `u32`
+/// length field.
 pub fn encode_frame(version: u16, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    encode_frame_flags(version, 0, payload)
+}
+
+/// Serialize a frame carrying capability flags.
+pub fn encode_frame_flags(version: u16, flags: u16, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
     let len = frame_len(payload.len())?;
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&version.to_be_bytes());
-    out.extend_from_slice(&0u16.to_be_bytes());
+    out.extend_from_slice(&flags.to_be_bytes());
     out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(payload);
     Ok(out)
 }
 
-/// Write one frame to a blocking writer. Refuses payloads above `max`
-/// locally so a well-behaved peer never triggers the remote cap; the
-/// wire format's own `u32` ceiling applies even when `max` is larger.
+/// Write one flag-less frame to a blocking writer. See
+/// [`write_frame_flags`].
 pub fn write_frame(
     w: &mut impl Write,
     version: u16,
+    payload: &[u8],
+    max: usize,
+) -> Result<(), RecvError> {
+    write_frame_flags(w, version, 0, payload, max)
+}
+
+/// Write one frame to a blocking writer. Refuses payloads above `max`
+/// locally so a well-behaved peer never triggers the remote cap; the
+/// wire format's own `u32` ceiling applies even when `max` is larger.
+pub fn write_frame_flags(
+    w: &mut impl Write,
+    version: u16,
+    flags: u16,
     payload: &[u8],
     max: usize,
 ) -> Result<(), RecvError> {
@@ -172,7 +230,7 @@ pub fn write_frame(
             max,
         }));
     }
-    w.write_all(&encode_frame(version, payload)?)?;
+    w.write_all(&encode_frame_flags(version, flags, payload)?)?;
     w.flush()?;
     Ok(())
 }
@@ -226,10 +284,10 @@ impl FrameDecoder {
             return Err(self.poison(FrameError::BadMagic(magic)));
         }
         let version = u16::from_be_bytes([self.buf[4], self.buf[5]]);
-        let reserved = u16::from_be_bytes([self.buf[6], self.buf[7]]);
-        if reserved != 0 {
-            return Err(self.poison(FrameError::NonZeroReserved(reserved)));
-        }
+        // Capability bits are policy, not framing: unknown bits are the
+        // *receiver's* call (the daemon answers with a typed error), so
+        // the decoder accepts any flags word.
+        let flags = u16::from_be_bytes([self.buf[6], self.buf[7]]);
         let len =
             u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]]) as usize;
         if len > self.max_frame {
@@ -243,7 +301,11 @@ impl FrameDecoder {
         }
         let payload = self.buf[HEADER_LEN..HEADER_LEN + len].to_vec();
         self.buf.drain(..HEADER_LEN + len);
-        Ok(Some(Frame { version, payload }))
+        Ok(Some(Frame {
+            version,
+            flags,
+            payload,
+        }))
     }
 
     fn poison(&mut self, e: FrameError) -> FrameError {
@@ -330,6 +392,22 @@ pub enum Request {
     ClearCache,
     /// Ask the daemon to drain and exit (admin).
     Shutdown,
+    /// Open a streaming ingestion session (requires
+    /// [`caps::STREAMING`]). The reply carries the session id, the lease
+    /// the client must renew by appending, and the buffer limits.
+    OpenSession { label: String },
+    /// Append chunk `seq` (strictly sequential from 0) to an open
+    /// session. `chunk` is a serialized `ChunkPayload`.
+    AppendChunk {
+        session: u64,
+        seq: u64,
+        chunk: String,
+    },
+    /// Seal a session: assemble its chunks and commit the profile
+    /// through the ordinary ingest path.
+    SealSession { session: u64 },
+    /// Abort a session, discarding everything buffered for it.
+    AbortSession { session: u64 },
 }
 
 impl Request {
@@ -350,6 +428,23 @@ impl Request {
             Request::ServerStats => "server-stats",
             Request::ClearCache => "clear-cache",
             Request::Shutdown => "shutdown",
+            Request::OpenSession { .. } => "open-session",
+            Request::AppendChunk { .. } => "append-chunk",
+            Request::SealSession { .. } => "seal-session",
+            Request::AbortSession { .. } => "abort-session",
+        }
+    }
+
+    /// The capability bits this request relies on; the client stamps
+    /// them on the request frame, and the daemon rejects a streaming op
+    /// whose frame failed to declare [`caps::STREAMING`].
+    pub fn required_caps(&self) -> u16 {
+        match self {
+            Request::OpenSession { .. }
+            | Request::AppendChunk { .. }
+            | Request::SealSession { .. }
+            | Request::AbortSession { .. } => caps::STREAMING,
+            _ => 0,
         }
     }
 }
@@ -447,6 +542,41 @@ pub struct ServerStatsReport {
     /// predating the sharded store).
     #[serde(default)]
     pub store_shards: Vec<ShardStatRow>,
+    /// Streaming sessions open right now.
+    #[serde(default)]
+    pub live_sessions: u64,
+    /// Bytes buffered across all open streaming sessions.
+    #[serde(default)]
+    pub live_open_bytes: u64,
+    /// Sessions opened since startup.
+    #[serde(default)]
+    pub live_sessions_opened: u64,
+    /// Sessions sealed (committed) since startup.
+    #[serde(default)]
+    pub live_sessions_sealed: u64,
+    /// Sessions aborted (client abort or failed seal) since startup.
+    #[serde(default)]
+    pub live_sessions_aborted: u64,
+    /// Expired leases reclaimed by the janitor since startup.
+    #[serde(default)]
+    pub live_leases_reaped: u64,
+    /// Chunks accepted since startup.
+    #[serde(default)]
+    pub live_chunks_appended: u64,
+    /// Capacity-induced rejections (too many sessions, buffer budgets)
+    /// since startup.
+    #[serde(default)]
+    pub live_backpressure: u64,
+    /// Startup recovery: sealed sessions reassembled from WAL chunk
+    /// records.
+    #[serde(default)]
+    pub sessions_recovered: u64,
+    /// Startup recovery: unsealed or unassemblable sessions dropped.
+    #[serde(default)]
+    pub sessions_dropped: u64,
+    /// Startup recovery: chunk records replayed from the WAL.
+    #[serde(default)]
+    pub session_chunks_replayed: u64,
 }
 
 impl ServerStatsReport {
@@ -478,6 +608,18 @@ impl ServerStatsReport {
             self.cache_insertions,
             self.cache_evictions,
         );
+        out.push_str(&format!(
+            "live: {} session(s) open holding {} byte(s); {} opened, {} sealed, {} aborted, \
+             {} lease(s) reaped, {} chunk(s) appended, {} backpressure rejection(s)\n",
+            self.live_sessions,
+            self.live_open_bytes,
+            self.live_sessions_opened,
+            self.live_sessions_sealed,
+            self.live_sessions_aborted,
+            self.live_leases_reaped,
+            self.live_chunks_appended,
+            self.live_backpressure,
+        ));
         if self.durable {
             out.push_str(&format!(
                 "persistence: recovered {} snapshot + {} wal record(s), {} truncated byte(s); \
@@ -489,6 +631,10 @@ impl ServerStatsReport {
                 self.wal_group_commits,
                 self.snapshots_written,
                 self.persist_io_errors,
+            ));
+            out.push_str(&format!(
+                "sessions: {} recovered, {} dropped, {} chunk record(s) replayed\n",
+                self.sessions_recovered, self.sessions_dropped, self.session_chunks_replayed,
             ));
         } else {
             out.push_str("persistence: off (in-memory store)\n");
@@ -540,6 +686,36 @@ pub enum WireError {
     ProfileParse { label: String, message: String },
     /// The daemon failed internally (a bug, not a client error).
     Internal { detail: String },
+    /// The request relies on capability bits the daemon does not
+    /// implement (or a streaming op arrived without declaring
+    /// [`caps::STREAMING`]). The connection stays usable.
+    Unsupported { feature: u16, supported: u16 },
+    /// No such open session (never opened, already sealed or aborted,
+    /// or lease-expired and reaped).
+    UnknownSession { session: u64 },
+    /// Chunks must arrive strictly in sequence, exactly once.
+    BadChunkSequence {
+        session: u64,
+        got: u64,
+        expected: u64,
+    },
+    /// One chunk exceeded the daemon's per-chunk limit.
+    ChunkTooLarge { session: u64, len: u64, max: u64 },
+    /// The session (or daemon-wide) buffer budget is exhausted; retry
+    /// later or fall back to one-shot ingestion.
+    SessionBufferFull { session: u64, bytes: u64, max: u64 },
+    /// The daemon cannot take more streaming work right now (too many
+    /// sessions or global backpressure); retry later.
+    Busy { detail: String },
+    /// A chunk payload did not parse.
+    ChunkParse {
+        session: u64,
+        seq: u64,
+        message: String,
+    },
+    /// A sealed chunk set did not assemble into a profile; the session
+    /// was discarded.
+    SessionIncomplete { session: u64, detail: String },
 }
 
 impl fmt::Display for WireError {
@@ -583,6 +759,50 @@ impl fmt::Display for WireError {
                 write!(f, "cannot parse profile {label:?}: {message}")
             }
             WireError::Internal { detail } => write!(f, "internal server error: {detail}"),
+            WireError::Unsupported { feature, supported } => write!(
+                f,
+                "capability {} not supported (server implements {})",
+                caps::render(*feature),
+                caps::render(*supported)
+            ),
+            WireError::UnknownSession { session } => {
+                write!(
+                    f,
+                    "no open session {session:#x} (sealed, aborted, or lease expired)"
+                )
+            }
+            WireError::BadChunkSequence {
+                session,
+                got,
+                expected,
+            } => write!(
+                f,
+                "session {session:#x}: chunk seq {got} out of order (expected {expected})"
+            ),
+            WireError::ChunkTooLarge { session, len, max } => write!(
+                f,
+                "session {session:#x}: chunk of {len} bytes exceeds the {max}-byte limit"
+            ),
+            WireError::SessionBufferFull {
+                session,
+                bytes,
+                max,
+            } => write!(
+                f,
+                "session {session:#x}: buffer would reach {bytes} bytes (limit {max})"
+            ),
+            WireError::Busy { detail } => write!(f, "daemon busy: {detail}"),
+            WireError::ChunkParse {
+                session,
+                seq,
+                message,
+            } => write!(
+                f,
+                "session {session:#x}: chunk {seq} does not parse: {message}"
+            ),
+            WireError::SessionIncomplete { session, detail } => {
+                write!(f, "session {session:#x} does not assemble: {detail}")
+            }
         }
     }
 }
@@ -610,6 +830,31 @@ pub enum Response {
     ServerStats(Box<ServerStatsReport>),
     CacheCleared,
     ShuttingDown,
+    /// A streaming session is open; stream chunks under this id and
+    /// within these limits, appending at least once per `lease_ms`.
+    SessionOpened {
+        session: u64,
+        lease_ms: u64,
+        max_chunk_bytes: u64,
+        max_session_bytes: u64,
+    },
+    /// Chunk accepted (and, on a durable store, staged in the WAL).
+    /// `open_bytes` is the daemon-wide buffered total after the append.
+    ChunkAppended {
+        session: u64,
+        seq: u64,
+        open_bytes: u64,
+    },
+    /// The session assembled and committed. `added` is false when the
+    /// identical profile was already stored (content-addressed dedup).
+    SessionSealed {
+        id: String,
+        added: bool,
+        chunks: u64,
+    },
+    SessionAborted {
+        session: u64,
+    },
     Error(WireError),
 }
 

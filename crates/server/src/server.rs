@@ -25,10 +25,11 @@
 
 use crate::metrics::{Metrics, OpSlot};
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, FrameError, ProfileEntry, RecvError,
-    ReportFormat, Request, Response, ServerStatsReport, ShardStatRow, WireError, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    caps, decode_request, encode_response, read_frame, write_frame_flags, FrameError, ProfileEntry,
+    RecvError, ReportFormat, Request, Response, ServerStatsReport, ShardStatRow, WireError,
+    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
+use numa_live::{LiveConfig, SessionError, SessionManager};
 use numa_store::{ProfileStore, Query, StoreError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -56,6 +57,9 @@ pub struct ServerConfig {
     /// How long a draining worker waits for one last in-flight request
     /// before closing the connection.
     pub drain_timeout: Duration,
+    /// Streaming-session limits (lease, buffer budgets, janitor
+    /// cadence).
+    pub live: LiveConfig,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +71,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_millis(100),
+            live: LiveConfig::default(),
         }
     }
 }
@@ -90,6 +95,7 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     store: Arc<ProfileStore>,
+    sessions: Arc<SessionManager>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
@@ -106,10 +112,12 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let sessions = SessionManager::new(Arc::clone(&store), config.live.clone());
         Ok(Server {
             listener,
             local_addr,
             store,
+            sessions,
             metrics: Arc::new(Metrics::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
@@ -145,6 +153,7 @@ impl Server {
             let ctx = WorkerCtx {
                 rx: Arc::clone(&rx),
                 store: Arc::clone(&self.store),
+                sessions: Arc::clone(&self.sessions),
                 metrics: Arc::clone(&self.metrics),
                 shutdown: Arc::clone(&self.shutdown),
                 config: self.config.clone(),
@@ -195,9 +204,14 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // Workers are gone, so no session op can race the janitor's
+        // teardown; open sessions die with the daemon (their staged WAL
+        // chunks are dropped as unsealed on the next replay).
+        self.sessions.stop();
         Ok(snapshot_stats(
             &self.metrics,
             &self.store,
+            &self.sessions,
             self.started.elapsed(),
         ))
     }
@@ -206,6 +220,7 @@ impl Server {
 struct WorkerCtx {
     rx: Arc<parking_lot::Mutex<Receiver<TcpStream>>>,
     store: Arc<ProfileStore>,
+    sessions: Arc<SessionManager>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
@@ -251,14 +266,46 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
                     return;
                 }
                 let start = Instant::now();
-                let (op, resp) = match decode_request(&frame.payload) {
-                    Ok(req) => {
-                        let op = OpSlot::of(&req);
-                        (op, execute(ctx, req))
-                    }
-                    Err(e) => {
-                        ctx.metrics.malformed_frame();
-                        (OpSlot::UNKNOWN, Response::Error(e))
+                let mut malformed = false;
+                let unknown_caps = frame.flags & !caps::SUPPORTED;
+                let (op, resp) = if unknown_caps != 0 {
+                    // The frame is structurally sound, so the byte
+                    // stream stays trustworthy: answer with a typed
+                    // capability error and keep serving (older daemons
+                    // hung up on any non-zero flags word).
+                    (
+                        OpSlot::UNKNOWN,
+                        Response::Error(WireError::Unsupported {
+                            feature: frame.flags,
+                            supported: caps::SUPPORTED,
+                        }),
+                    )
+                } else {
+                    match decode_request(&frame.payload) {
+                        Ok(req) => {
+                            let op = OpSlot::of(&req);
+                            let missing = req.required_caps() & !frame.flags;
+                            if missing != 0 {
+                                // A streaming op that did not declare
+                                // STREAMING is a client from before the
+                                // capability existed; tell it precisely
+                                // what it lacks.
+                                (
+                                    op,
+                                    Response::Error(WireError::Unsupported {
+                                        feature: missing,
+                                        supported: caps::SUPPORTED,
+                                    }),
+                                )
+                            } else {
+                                (op, execute(ctx, req))
+                            }
+                        }
+                        Err(e) => {
+                            malformed = true;
+                            ctx.metrics.malformed_frame();
+                            (OpSlot::UNKNOWN, Response::Error(e))
+                        }
                     }
                 };
                 let is_error = matches!(resp, Response::Error(_));
@@ -268,9 +315,9 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
                     return;
                 }
                 // Request-level errors keep the connection; stream-level
-                // ones (malformed frame) already poisoned the byte
+                // ones (undecodable payload) already poisoned the byte
                 // stream, so close.
-                if op == OpSlot::UNKNOWN || draining {
+                if malformed || draining {
                     return;
                 }
             }
@@ -305,9 +352,12 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
 /// field, so tightening the inbound cap never makes stats or listing
 /// responses unsendable.
 fn send(stream: &mut TcpStream, resp: &Response) -> Result<(), RecvError> {
-    write_frame(
+    // Every response frame advertises the daemon's full capability set,
+    // so one ping round trip tells a client what this build can do.
+    write_frame_flags(
         stream,
         PROTOCOL_VERSION,
+        caps::SUPPORTED,
         &encode_response(resp),
         u32::MAX as usize,
     )
@@ -410,6 +460,7 @@ fn execute_inner(ctx: &WorkerCtx, req: &Request) -> Response {
         Request::ServerStats => Response::ServerStats(Box::new(snapshot_stats(
             &ctx.metrics,
             store,
+            &ctx.sessions,
             ctx.started.elapsed(),
         ))),
         Request::ClearCache => {
@@ -420,6 +471,89 @@ fn execute_inner(ctx: &WorkerCtx, req: &Request) -> Response {
             ctx.shutdown.store(true, Ordering::SeqCst);
             Response::ShuttingDown
         }
+        Request::OpenSession { label } => match ctx.sessions.open(label) {
+            Ok(t) => Response::SessionOpened {
+                session: t.session,
+                lease_ms: t.lease.as_millis().min(u64::MAX as u128) as u64,
+                max_chunk_bytes: t.max_chunk_bytes as u64,
+                max_session_bytes: t.max_session_bytes as u64,
+            },
+            Err(e) => Response::Error(session_error(e)),
+        },
+        Request::AppendChunk {
+            session,
+            seq,
+            chunk,
+        } => match ctx.sessions.append(*session, *seq, chunk) {
+            Ok(open_bytes) => Response::ChunkAppended {
+                session: *session,
+                seq: *seq,
+                open_bytes: open_bytes as u64,
+            },
+            Err(e) => Response::Error(session_error(e)),
+        },
+        Request::SealSession { session } => match ctx.sessions.seal(*session) {
+            Ok(sealed) => Response::SessionSealed {
+                id: sealed.id.to_string(),
+                added: sealed.added,
+                chunks: sealed.chunks,
+            },
+            Err(e) => Response::Error(session_error(e)),
+        },
+        Request::AbortSession { session } => match ctx.sessions.abort(*session) {
+            Ok(()) => Response::SessionAborted { session: *session },
+            Err(e) => Response::Error(session_error(e)),
+        },
+    }
+}
+
+/// Map typed session failures onto the wire taxonomy. Capacity-induced
+/// rejections become [`WireError::Busy`] (retry later); the rest keep
+/// their structure so a client can react programmatically.
+fn session_error(e: SessionError) -> WireError {
+    match e {
+        SessionError::UnknownSession { session } => WireError::UnknownSession { session },
+        SessionError::BadSequence {
+            session,
+            got,
+            expected,
+        } => WireError::BadChunkSequence {
+            session,
+            got,
+            expected,
+        },
+        SessionError::ChunkTooLarge { session, len, max } => WireError::ChunkTooLarge {
+            session,
+            len: len as u64,
+            max: max as u64,
+        },
+        SessionError::SessionFull {
+            session,
+            bytes,
+            max,
+        } => WireError::SessionBufferFull {
+            session,
+            bytes: bytes as u64,
+            max: max as u64,
+        },
+        e @ (SessionError::TooManySessions { .. } | SessionError::Backpressure { .. }) => {
+            WireError::Busy {
+                detail: e.to_string(),
+            }
+        }
+        SessionError::ChunkParse {
+            session,
+            seq,
+            message,
+        } => WireError::ChunkParse {
+            session,
+            seq,
+            message,
+        },
+        SessionError::Incomplete { session, reason } => WireError::SessionIncomplete {
+            session,
+            detail: reason,
+        },
     }
 }
 
@@ -456,9 +590,15 @@ fn wire_error(e: StoreError) -> WireError {
     }
 }
 
-fn snapshot_stats(metrics: &Metrics, store: &ProfileStore, uptime: Duration) -> ServerStatsReport {
+fn snapshot_stats(
+    metrics: &Metrics,
+    store: &ProfileStore,
+    sessions: &SessionManager,
+    uptime: Duration,
+) -> ServerStatsReport {
     let store_stats = store.stats();
     let persist = store_stats.persist;
+    let live = sessions.stats();
     ServerStatsReport {
         uptime_ms: uptime.as_millis().min(u64::MAX as u128) as u64,
         connections_accepted: metrics.connections_accepted_total(),
@@ -496,5 +636,16 @@ fn snapshot_stats(metrics: &Metrics, store: &ProfileStore, uptime: Duration) -> 
                 write_contended: s.write_contended,
             })
             .collect(),
+        live_sessions: live.open_sessions as u64,
+        live_open_bytes: live.open_bytes as u64,
+        live_sessions_opened: live.opened,
+        live_sessions_sealed: live.sealed,
+        live_sessions_aborted: live.aborted,
+        live_leases_reaped: live.reaped,
+        live_chunks_appended: live.chunks_appended,
+        live_backpressure: live.backpressure_rejections,
+        sessions_recovered: persist.sessions_recovered,
+        sessions_dropped: persist.sessions_dropped,
+        session_chunks_replayed: persist.session_chunks_replayed,
     }
 }

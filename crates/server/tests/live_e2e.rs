@@ -1,0 +1,311 @@
+//! End-to-end streaming-session tests over loopback TCP: a streamed
+//! profile must land byte-identically with one-shot ingestion, every
+//! failure must be a typed wire error that keeps the connection usable,
+//! capability gating must downgrade gracefully, and the janitor must
+//! reap sessions whose client died.
+
+use numa_machine::{Machine, MachinePreset, PlacementPolicy};
+use numa_profiler::{finish_profile, NumaProfile, NumaProfiler, ProfilerConfig};
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_server::protocol::{
+    caps, encode_frame_flags, encode_request, read_frame, Request, Response, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use numa_server::{Client, ClientError, LiveConfig, Server, ServerConfig, WireError};
+use numa_sim::{ExecMode, Program};
+use numa_store::ProfileStore;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A small deterministic profile; `rounds` varies the content hash.
+fn profile(rounds: usize) -> NumaProfile {
+    let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
+    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8));
+    let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, 8));
+    let mut p = Program::new(machine, 8, ExecMode::Sequential, profiler.clone());
+    let size = 1u64 << 20;
+    let mut base = 0;
+    p.serial("main", |ctx| {
+        base = ctx.alloc("z", size, PlacementPolicy::FirstTouch);
+        ctx.store_range(base, size / 64, 64);
+    });
+    for _ in 0..rounds {
+        p.parallel("compute._omp", |tid, ctx| {
+            let chunk = size / 8;
+            ctx.load_range(base + tid as u64 * chunk, chunk / 64, 64);
+        });
+    }
+    finish_profile(p, profiler)
+}
+
+fn spawn_server(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<std::io::Result<numa_server::ServerStatsReport>>,
+) {
+    let store = Arc::new(ProfileStore::new());
+    let server = Server::bind("127.0.0.1:0", config, store).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+#[test]
+fn streamed_profiles_match_oneshot_over_tcp() {
+    let streamed = profile(1);
+    let streamed_json = streamed.to_json();
+    let oneshot_json = profile(2).to_json();
+
+    // In-process oracle: both profiles via plain ingestion.
+    let oracle = ProfileStore::new();
+    let (oracle_id, _) = oracle.ingest_bytes("streamed", &streamed_json).unwrap();
+    oracle.ingest_bytes("oneshot", &oneshot_json).unwrap();
+
+    let (addr, server) = spawn_server(ServerConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+
+    // One profile streamed in 3-thread chunks, one ingested one-shot.
+    let (id, added, chunks) = c
+        .stream_profile("streamed", &streamed, 3)
+        .expect("stream profile");
+    assert!(added);
+    assert!(chunks >= 2, "8 threads at 3/chunk is at least header + 3");
+    assert_eq!(id, oracle_id.to_string());
+    c.ingest("oneshot", &oneshot_json).expect("one-shot ingest");
+
+    // The daemon's aggregate equals the oracle's: a streamed profile is
+    // indistinguishable from a one-shot one.
+    assert_eq!(
+        c.aggregate().expect("aggregate"),
+        oracle.aggregate().unwrap().text()
+    );
+
+    // Re-streaming identical content deduplicates.
+    let (id2, added2, _) = c
+        .stream_profile("streamed-again", &streamed, 2)
+        .expect("re-stream");
+    assert!(!added2, "identical content must dedup");
+    assert_eq!(id2, id);
+
+    let stats = c.server_stats().expect("server stats");
+    assert_eq!(stats.live_sessions, 0);
+    assert_eq!(stats.live_open_bytes, 0);
+    assert_eq!(stats.live_sessions_opened, 2);
+    assert_eq!(stats.live_sessions_sealed, 2);
+    assert_eq!(stats.live_chunks_appended, chunks + 5);
+    assert_eq!(stats.store_profiles, 2);
+    let rendered = stats.render();
+    assert!(rendered.contains("2 sealed"), "{rendered}");
+
+    c.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server run");
+}
+
+#[test]
+fn streaming_errors_are_typed_and_keep_the_connection() {
+    let (addr, server) = spawn_server(ServerConfig {
+        live: LiveConfig {
+            max_chunk_bytes: 256,
+            ..LiveConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr).expect("connect");
+
+    // Append to a session that never existed.
+    match c.append_chunk(0xbeef, 0, "{}") {
+        Err(ClientError::Server(WireError::UnknownSession { session: 0xbeef })) => {}
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+
+    let info = c.open_session("run").expect("open");
+    assert_eq!(info.max_chunk_bytes, 256);
+
+    // Out-of-order chunk.
+    match c.append_chunk(info.session, 5, r#"{"Threads":[]}"#) {
+        Err(ClientError::Server(WireError::BadChunkSequence {
+            got: 5,
+            expected: 0,
+            ..
+        })) => {}
+        other => panic!("expected BadChunkSequence, got {other:?}"),
+    }
+
+    // Oversized chunk.
+    let big = format!(r#"{{"Threads":[{}]}}"#, " ".repeat(300));
+    match c.append_chunk(info.session, 0, &big) {
+        Err(ClientError::Server(WireError::ChunkTooLarge { max: 256, .. })) => {}
+        other => panic!("expected ChunkTooLarge, got {other:?}"),
+    }
+
+    // Unparsable chunk payload.
+    match c.append_chunk(info.session, 0, "not a chunk") {
+        Err(ClientError::Server(WireError::ChunkParse { seq: 0, .. })) => {}
+        other => panic!("expected ChunkParse, got {other:?}"),
+    }
+
+    // Sealing a header-less chunk set fails atomically and discards the
+    // session.
+    c.append_chunk(info.session, 0, r#"{"Threads":[]}"#)
+        .expect("valid empty chunk");
+    match c.seal_session(info.session) {
+        Err(ClientError::Server(WireError::SessionIncomplete { .. })) => {}
+        other => panic!("expected SessionIncomplete, got {other:?}"),
+    }
+    match c.abort_session(info.session) {
+        Err(ClientError::Server(WireError::UnknownSession { .. })) => {}
+        other => panic!("expected UnknownSession after failed seal, got {other:?}"),
+    }
+
+    // Every error above was request-level: the same connection still
+    // serves, and nothing was half-ingested.
+    c.ping().expect("connection survives typed errors");
+    assert!(c.list().expect("list").is_empty());
+    let stats = c.server_stats().expect("stats");
+    assert_eq!(stats.live_sessions, 0);
+    assert_eq!(stats.live_sessions_aborted, 1);
+
+    c.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server run");
+}
+
+#[test]
+fn capability_bits_gate_streaming_and_keep_connections_alive() {
+    let (addr, server) = spawn_server(ServerConfig::default());
+
+    // ping reports the daemon's capability set.
+    let mut c = Client::connect(addr).expect("connect");
+    assert_eq!(c.ping().expect("ping"), caps::SUPPORTED);
+    assert_eq!(c.server_caps(), Some(caps::SUPPORTED));
+
+    // Raw exchange: a frame with an unknown capability bit draws a
+    // typed Unsupported — and the SAME connection then serves a valid
+    // ping, where the old protocol hung up on any non-zero word.
+    let mut s = TcpStream::connect(addr).expect("raw connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let ping = encode_request(&Request::Ping);
+    s.write_all(&encode_frame_flags(PROTOCOL_VERSION, 0x8000, &ping).unwrap())
+        .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME)
+        .expect("readable")
+        .expect("answered");
+    match serde_json::from_str::<Response>(std::str::from_utf8(&frame.payload).unwrap()) {
+        Ok(Response::Error(WireError::Unsupported { supported, .. })) => {
+            assert_eq!(supported, caps::SUPPORTED)
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    s.write_all(&encode_frame_flags(PROTOCOL_VERSION, 0, &ping).unwrap())
+        .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME)
+        .expect("readable")
+        .expect("still served");
+    assert_eq!(frame.flags, caps::SUPPORTED, "responses advertise caps");
+    match serde_json::from_str::<Response>(std::str::from_utf8(&frame.payload).unwrap()) {
+        Ok(Response::Pong) => {}
+        other => panic!("expected Pong after capability error, got {other:?}"),
+    }
+
+    // A streaming op whose frame does not declare STREAMING (a client
+    // from before the capability existed) gets a typed refusal naming
+    // the missing bit.
+    let open = encode_request(&Request::OpenSession {
+        label: "old-client".to_string(),
+    });
+    s.write_all(&encode_frame_flags(PROTOCOL_VERSION, 0, &open).unwrap())
+        .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME)
+        .expect("readable")
+        .expect("answered");
+    match serde_json::from_str::<Response>(std::str::from_utf8(&frame.payload).unwrap()) {
+        Ok(Response::Error(WireError::Unsupported { feature, .. })) => {
+            assert_eq!(feature, caps::STREAMING)
+        }
+        other => panic!("expected Unsupported{{STREAMING}}, got {other:?}"),
+    }
+
+    c.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server run");
+}
+
+#[test]
+fn dead_clients_are_reaped_and_nothing_is_half_ingested() {
+    let (addr, server) = spawn_server(ServerConfig {
+        live: LiveConfig {
+            lease: Duration::from_millis(200),
+            janitor_period: Duration::from_millis(25),
+            ..LiveConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    // A client opens a session, streams part of a profile, then "dies"
+    // (drops the connection without sealing or aborting).
+    let streamed = profile(1);
+    {
+        let mut dying = Client::connect(addr).expect("connect dying client");
+        let info = dying.open_session("doomed").expect("open");
+        let chunks = numa_store::stream::split_profile(&streamed, 2);
+        dying
+            .append_chunk(info.session, 0, &chunks[0].to_json())
+            .expect("first chunk");
+        dying
+            .append_chunk(info.session, 1, &chunks[1].to_json())
+            .expect("second chunk");
+    } // connection dropped mid-session
+
+    // The janitor reaps the expired lease; poll observability until it
+    // shows up.
+    let mut c = Client::connect(addr).expect("connect observer");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.server_stats().expect("stats");
+        if stats.live_leases_reaped >= 1 {
+            assert_eq!(stats.live_sessions, 0);
+            assert_eq!(stats.live_open_bytes, 0);
+            assert!(stats.render().contains("1 lease(s) reaped"));
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "janitor never reaped the dead client's session"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The partial stream left nothing behind; a complete stream of the
+    // same profile afterwards ingests cleanly (no stale session state).
+    assert!(c.list().expect("list").is_empty());
+    let (_, added, _) = c
+        .stream_profile("recovered", &streamed, 2)
+        .expect("full stream after reap");
+    assert!(added);
+    assert_eq!(c.list().expect("list").len(), 1);
+
+    c.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server run");
+}
+
+#[test]
+fn connect_retry_waits_for_a_slow_daemon() {
+    // Nothing listening: a short deadline returns the connect error
+    // instead of spinning forever.
+    let start = Instant::now();
+    let err = Client::connect_retry("127.0.0.1:1", Duration::from_millis(300));
+    assert!(err.is_err(), "no listener must yield an error");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "deadline must bound the retry loop"
+    );
+
+    // A daemon that binds late: connect_retry bridges the gap that
+    // tests used to cover with ad-hoc ping-poll loops.
+    let (addr, server) = spawn_server(ServerConfig::default());
+    let mut c = Client::connect_retry(addr, Duration::from_secs(5)).expect("retry connect");
+    assert_eq!(c.ping().expect("ping"), caps::SUPPORTED);
+    c.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server run");
+}

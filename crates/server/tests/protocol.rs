@@ -3,9 +3,9 @@
 //! malformed byte stream yields a typed error — never a panic.
 
 use numa_server::protocol::{
-    decode_request, decode_response, encode_frame, encode_request, encode_response, frame_len,
-    read_frame, FrameDecoder, FrameError, RecvError, ReportFormat, Request, Response, WireError,
-    HEADER_LEN, PROTOCOL_VERSION,
+    caps, decode_request, decode_response, encode_frame, encode_frame_flags, encode_request,
+    encode_response, frame_len, read_frame, FrameDecoder, FrameError, RecvError, ReportFormat,
+    Request, Response, WireError, HEADER_LEN, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -34,10 +34,25 @@ proptest! {
         decoder.push(&bytes);
         let frame = decoder.next_frame().expect("valid frame").expect("complete");
         prop_assert_eq!(frame.version, version);
+        prop_assert_eq!(frame.flags, 0);
         prop_assert_eq!(frame.payload, payload);
         // Nothing left over.
         prop_assert!(decoder.next_frame().expect("empty tail").is_none());
         prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn capability_flags_round_trip(payload in payload_strategy(), flags in any::<u64>()) {
+        // ANY flags word — known capability bits, unknown future bits,
+        // all of them — must survive framing; policy about unknown bits
+        // belongs to the daemon, not the codec.
+        let flags = flags as u16;
+        let bytes = encode_frame_flags(PROTOCOL_VERSION, flags, &payload).unwrap();
+        let mut decoder = FrameDecoder::new(payload.len().max(1));
+        decoder.push(&bytes);
+        let frame = decoder.next_frame().expect("valid frame").expect("complete");
+        prop_assert_eq!(frame.flags, flags);
+        prop_assert_eq!(frame.payload, payload);
     }
 
     #[test]
@@ -131,10 +146,23 @@ proptest! {
             Request::ServerStats,
             Request::ClearCache,
             Request::Shutdown,
+            Request::OpenSession { label: label.clone() },
+            Request::AppendChunk { session: n as u64, seq: n as u64, chunk: body.clone() },
+            Request::SealSession { session: n as u64 },
+            Request::AbortSession { session: n as u64 },
         ];
         for req in &requests {
             let decoded = decode_request(&encode_request(req)).expect("round-trip");
             prop_assert_eq!(&decoded, req);
+        }
+        // Only session ops rely on a capability bit.
+        for req in &requests {
+            let expected = match req {
+                Request::OpenSession { .. } | Request::AppendChunk { .. }
+                | Request::SealSession { .. } | Request::AbortSession { .. } => caps::STREAMING,
+                _ => 0,
+            };
+            prop_assert_eq!(req.required_caps(), expected);
         }
     }
 
@@ -153,6 +181,23 @@ proptest! {
             }),
             Response::Error(WireError::Malformed { detail: text.clone() }),
             Response::Error(WireError::EmptyStore),
+            Response::SessionOpened {
+                session: added as u64,
+                lease_ms: 30_000,
+                max_chunk_bytes: 4 << 20,
+                max_session_bytes: 64 << 20,
+            },
+            Response::ChunkAppended { session: 7, seq: added as u64, open_bytes: 1024 },
+            Response::SessionSealed { id: text.clone(), added, chunks: 5 },
+            Response::SessionAborted { session: 7 },
+            Response::Error(WireError::Unsupported { feature: caps::STREAMING, supported: caps::SUPPORTED }),
+            Response::Error(WireError::UnknownSession { session: 7 }),
+            Response::Error(WireError::BadChunkSequence { session: 7, got: 3, expected: 1 }),
+            Response::Error(WireError::ChunkTooLarge { session: 7, len: 9000, max: 4096 }),
+            Response::Error(WireError::SessionBufferFull { session: 7, bytes: 9000, max: 4096 }),
+            Response::Error(WireError::Busy { detail: text.clone() }),
+            Response::Error(WireError::ChunkParse { session: 7, seq: 2, message: text.clone() }),
+            Response::Error(WireError::SessionIncomplete { session: 7, detail: text.clone() }),
         ];
         for resp in &responses {
             let decoded = decode_response(&encode_response(resp)).expect("round-trip");
@@ -162,16 +207,28 @@ proptest! {
 }
 
 #[test]
-fn nonzero_reserved_is_rejected() {
+fn flags_word_is_accepted_where_reserved_was_rejected() {
+    // The header word at offsets 6..8 used to be required-zero; it is
+    // the capability flags word now, and the decoder must surface any
+    // value rather than poison the stream (unknown bits are the
+    // daemon's policy decision, answered with a typed error).
     let mut bytes = encode_frame(PROTOCOL_VERSION, b"x").unwrap();
     bytes[6] = 0x12;
     bytes[7] = 0x34;
     let mut decoder = FrameDecoder::new(64);
     decoder.push(&bytes);
-    assert_eq!(
-        decoder.next_frame().unwrap_err(),
-        FrameError::NonZeroReserved(0x1234)
-    );
+    let frame = decoder.next_frame().unwrap().expect("complete frame");
+    assert_eq!(frame.flags, 0x1234);
+    assert_eq!(frame.payload, b"x");
+}
+
+#[test]
+fn capability_set_is_coherent() {
+    // STREAMING is implemented, and render() names known bits.
+    assert_eq!(caps::SUPPORTED & caps::STREAMING, caps::STREAMING);
+    assert!(caps::render(caps::STREAMING).contains("streaming"));
+    assert!(caps::render(0).contains("none"));
+    assert!(caps::render(0x8000).contains("unknown"));
 }
 
 #[test]

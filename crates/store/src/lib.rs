@@ -37,6 +37,7 @@ mod cache;
 mod hash;
 mod persist;
 pub mod snapshot;
+pub mod stream;
 pub mod wal;
 
 pub use aggregate::{aggregate, CrossRunAggregate, VarAggregate};
@@ -414,6 +415,14 @@ pub struct PersistStats {
     /// Append/compaction I/O failures (the store keeps serving from
     /// memory; durability of the affected records is lost).
     pub io_errors: u64,
+    /// Streaming sessions whose seal replayed to a complete profile at
+    /// startup.
+    pub sessions_recovered: u64,
+    /// Streaming sessions dropped at startup: unsealed (the client or
+    /// daemon died mid-stream) or sealed but incomplete/corrupt.
+    pub sessions_dropped: u64,
+    /// Session chunk records seen in the snapshot + WAL at startup.
+    pub session_chunks_replayed: u64,
 }
 
 /// Per-shard accounting row in [`StoreStats`].
@@ -439,6 +448,12 @@ pub struct ProfileStore {
     /// Group-commit persister; unset for in-memory stores. Ingest paths
     /// never hold a shelf lock while talking to it.
     persist: OnceLock<persist::Persister>,
+    /// Encoded WAL chunk records of open streaming sessions, keyed by
+    /// session id. Shared with the persister thread: a snapshot
+    /// compaction resets the WAL (the only place staged chunks live),
+    /// so it re-stages these into the fresh log. Entries are dropped on
+    /// seal/abort/reap via [`ProfileStore::discard_session`].
+    session_log: Arc<parking_lot::Mutex<HashMap<u64, Vec<Vec<u8>>>>>,
 }
 
 impl Default for ProfileStore {
@@ -489,6 +504,7 @@ impl ProfileStore {
             dedup_hits: AtomicU64::new(0),
             parse_failures: AtomicU64::new(0),
             persist: OnceLock::new(),
+            session_log: Arc::new(parking_lot::Mutex::new(HashMap::new())),
         }
     }
 
@@ -538,16 +554,47 @@ impl ProfileStore {
         };
 
         let snap = snapshot::load_snapshot(dir)?;
-        base.snapshot_records_loaded = snap.records.len() as u64;
+        base.snapshot_records_loaded = snap.entries.len() as u64;
         base.snapshot_truncated_bytes = snap.truncated_bytes;
         let log = wal::scan_file(&wal::wal_path(dir), wal::WAL_MAGIC)?;
-        base.wal_records_replayed = log.records.len() as u64;
+        base.wal_records_replayed = log.entries.len() as u64;
         base.wal_truncated_bytes = log.truncated_bytes;
 
         // Replay snapshot first, then the log on top; content addressing
         // dedups records present in both. The persister is not attached
-        // yet, so replayed inserts do not re-append to the WAL.
-        let records: Vec<wal::WalRecord> = snap.records.into_iter().chain(log.records).collect();
+        // yet, so replayed inserts do not re-append to the WAL. Sealed
+        // streaming sessions reassemble into ordinary profile records;
+        // unsealed or incomplete ones are dropped wholesale — a client
+        // (or this daemon) that died mid-stream never half-ingests.
+        let mut records: Vec<wal::WalRecord> = Vec::new();
+        let mut chunks: HashMap<u64, std::collections::BTreeMap<u64, String>> = HashMap::new();
+        let mut seals: Vec<wal::SealRecord> = Vec::new();
+        for entry in snap.entries.into_iter().chain(log.entries) {
+            match entry {
+                wal::WalEntry::Profile(r) => records.push(r),
+                wal::WalEntry::Chunk(c) => {
+                    base.session_chunks_replayed += 1;
+                    // BTreeMap insert dedups chunks re-staged by a
+                    // compaction that raced the original append.
+                    chunks
+                        .entry(c.session)
+                        .or_default()
+                        .insert(c.seq, c.payload);
+                }
+                wal::WalEntry::Seal(s) => seals.push(s),
+            }
+        }
+        for seal in seals {
+            let parts = chunks.remove(&seal.session).unwrap_or_default();
+            match Self::assemble_sealed(&seal, parts) {
+                Some(record) => {
+                    base.sessions_recovered += 1;
+                    records.push(record);
+                }
+                None => base.sessions_dropped += 1,
+            }
+        }
+        base.sessions_dropped += chunks.len() as u64; // chunks with no seal
         base.replay_parse_failures = store.replay(records);
 
         let writer = wal::WalWriter::open_after(&wal::wal_path(dir), log.valid_len, opts.fsync)?;
@@ -563,9 +610,44 @@ impl ProfileStore {
                 .map(|sp| (sp.label.to_string(), sp.profile.to_json(), sp.id.0))
                 .collect_vec()
         });
-        let persister = persist::Persister::spawn(dir.to_path_buf(), writer, opts, base, corpus)?;
+        let session_log = Arc::clone(&store.session_log);
+        let retained: persist::RetainedFn = Box::new(move || {
+            let log = session_log.lock();
+            log.values().flatten().cloned().collect()
+        });
+        let persister =
+            persist::Persister::spawn(dir.to_path_buf(), writer, opts, base, corpus, retained)?;
         let _ = store.persist.set(persister);
         Ok(store)
+    }
+
+    /// Reassemble one sealed session recovered from disk. `None` (drop
+    /// the session) when chunks are missing, fail to parse, do not
+    /// assemble, or the assembled canonical JSON does not hash to the
+    /// seal's content hash.
+    fn assemble_sealed(
+        seal: &wal::SealRecord,
+        parts: std::collections::BTreeMap<u64, String>,
+    ) -> Option<wal::WalRecord> {
+        if parts.len() as u64 != seal.chunks
+            || parts.keys().next_back() != seal.chunks.checked_sub(1).as_ref()
+        {
+            return None; // missing or out-of-range chunks
+        }
+        let chunks: Vec<stream::ChunkPayload> = parts
+            .values()
+            .map(|payload| stream::ChunkPayload::from_json(payload).ok())
+            .collect::<Option<Vec<_>>>()?;
+        let profile = stream::assemble(chunks).ok()?;
+        let (id, canonical) = ProfileId::of(&profile);
+        if id.0 != seal.content_hash {
+            return None; // assembled bytes disagree with the sealed hash
+        }
+        Some(wal::WalRecord {
+            label: seal.label.clone(),
+            json: canonical,
+            content_hash: id.0,
+        })
     }
 
     /// Rebuild the in-memory set from recovered records: parse and
@@ -656,6 +738,64 @@ impl ProfileStore {
             .map(|(label, json, id)| wal::encode_record(label, json, id.0))
             .collect();
         p.append_all(records);
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming sessions
+    // ------------------------------------------------------------------
+
+    /// Stage one chunk of an open streaming session in the WAL and block
+    /// until the group-commit persister has it flushed — an acknowledged
+    /// chunk survives a SIGKILL of the daemon (it replays if and only if
+    /// its session later seals). A no-op for in-memory stores.
+    pub fn stage_chunk(&self, session: u64, seq: u64, payload: &str) {
+        let Some(p) = self.persist.get() else { return };
+        let record = wal::encode_chunk_record(session, seq, payload);
+        self.session_log
+            .lock()
+            .entry(session)
+            .or_default()
+            .push(record.clone());
+        p.append_all(vec![record]);
+    }
+
+    /// Commit a sealed streaming session: insert the assembled profile
+    /// through the ordinary ingest path and append the seal record that
+    /// makes the staged chunks replayable. The result is
+    /// indistinguishable from [`ProfileStore::ingest_profile`] of the
+    /// same profile — same id, same set hash, same aggregate text.
+    /// Returns `(id, newly_added)`; a dedup (`false`) appends no seal,
+    /// and either way the session's staged chunks are discarded.
+    pub fn commit_sealed(
+        &self,
+        session: u64,
+        label: &str,
+        profile: NumaProfile,
+    ) -> (ProfileId, bool) {
+        let (id, canonical) = ProfileId::of(&profile);
+        let sp = Arc::new(StoredProfile::new(id, label, profile, canonical.len()));
+        let added = self.insert(sp);
+        if added {
+            if let Some(p) = self.persist.get() {
+                let chunks = self
+                    .session_log
+                    .lock()
+                    .get(&session)
+                    .map(|v| v.len() as u64)
+                    .unwrap_or(0);
+                p.append_all(vec![wal::encode_seal_record(session, chunks, id.0, label)]);
+            }
+        }
+        self.discard_session(session);
+        (id, added)
+    }
+
+    /// Drop a session's staged chunk records (on seal, abort, or lease
+    /// reap). Chunks already written to the WAL stay there but are
+    /// sealless, so replay discards them; the next compaction stops
+    /// re-staging them and physically reclaims the space.
+    pub fn discard_session(&self, session: u64) {
+        self.session_log.lock().remove(&session);
     }
 
     // ------------------------------------------------------------------
@@ -1114,6 +1254,10 @@ impl StoreStats {
                 p.wal_bytes / 1024,
                 p.snapshots_written,
                 p.io_errors,
+            ));
+            out.push_str(&format!(
+                "sessions: {} recovered, {} dropped, {} chunk record(s) replayed\n",
+                p.sessions_recovered, p.sessions_dropped, p.session_chunks_replayed,
             ));
         } else {
             out.push_str("persistence: off (in-memory store)\n");

@@ -39,6 +39,13 @@ use std::thread::JoinHandle;
 /// persists. Runs on the persister thread.
 pub(crate) type CorpusFn = Box<dyn Fn() -> Vec<(String, String, u64)> + Send + 'static>;
 
+/// Produces the encoded chunk records of still-open streaming sessions.
+/// A compaction resets the WAL — the only place those chunks live — so
+/// they are re-staged into the fresh log right after the reset (replay
+/// dedups chunks by sequence number, so a record surviving in both the
+/// old and new generation is harmless). Runs on the persister thread.
+pub(crate) type RetainedFn = Box<dyn Fn() -> Vec<Vec<u8>> + Send + 'static>;
+
 enum Op {
     /// One pre-encoded WAL record; ack fires once it is flushed.
     Append {
@@ -80,6 +87,7 @@ impl Persister {
         opts: PersistOptions,
         base: PersistStats,
         corpus: CorpusFn,
+        retained: RetainedFn,
     ) -> io::Result<Persister> {
         let shared = Arc::new(Shared::default());
         shared.wal_bytes.store(wal.len(), Ordering::Relaxed);
@@ -94,6 +102,7 @@ impl Persister {
                     opts,
                     shared: worker_shared,
                     corpus,
+                    retained,
                 }
                 .run(rx)
             })?;
@@ -175,6 +184,7 @@ struct Worker {
     opts: PersistOptions,
     shared: Arc<Shared>,
     corpus: CorpusFn,
+    retained: RetainedFn,
 }
 
 impl Worker {
@@ -252,11 +262,20 @@ impl Worker {
             .store(self.wal.len(), Ordering::Relaxed);
     }
 
-    /// Snapshot the whole corpus atomically and reset the WAL.
+    /// Snapshot the whole corpus atomically and reset the WAL. Chunk
+    /// records of still-open streaming sessions live only in the WAL,
+    /// so they are re-staged into the fresh log after the reset.
     fn compact(&mut self) -> io::Result<()> {
         let entries = (self.corpus)();
         crate::snapshot::write_snapshot(&self.dir, &entries)?;
         self.wal.reset()?;
+        let retained = (self.retained)();
+        if !retained.is_empty() {
+            for record in &retained {
+                self.wal.write_encoded(record)?;
+            }
+            self.wal.commit()?;
+        }
         self.shared
             .snapshots_written
             .fetch_add(1, Ordering::Relaxed);

@@ -74,8 +74,9 @@ mod tests {
         write_snapshot(&dir, &[entry("a")]).unwrap();
         write_snapshot(&dir, &[entry("a"), entry("b")]).unwrap();
         let scan = load_snapshot(&dir).unwrap();
-        assert_eq!(scan.records.len(), 2);
-        assert_eq!(scan.records[1].label, "b");
+        let profiles: Vec<_> = scan.profiles().collect();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[1].label, "b");
         assert_eq!(scan.truncated_bytes, 0);
         assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
         std::fs::remove_dir_all(&dir).ok();
@@ -85,7 +86,7 @@ mod tests {
     fn missing_snapshot_loads_empty() {
         let dir = tmp("missing");
         let scan = load_snapshot(&dir).unwrap();
-        assert!(scan.records.is_empty());
+        assert!(scan.entries.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,4 +1,5 @@
-//! Append-only write-ahead log of ingested profiles.
+//! Append-only write-ahead log of ingested profiles and in-flight
+//! streaming sessions.
 //!
 //! ## File layout (all integers big-endian)
 //!
@@ -9,35 +10,60 @@
 //! offset 8..    records
 //! ```
 //!
-//! Each record is length-prefixed and checksummed:
+//! Each record is length-prefixed and checksummed, and its body opens
+//! with a kind byte:
 //!
 //! ```text
 //! u32  body_len       byte count of `body`
 //! u64  body_fnv       FNV-1a over the body bytes
 //! body:
-//!   u32  label_len    byte count of `label`
-//!   ...  label        UTF-8 label
-//!   u64  content_hash FNV-1a of the canonical JSON (the ProfileId)
-//!   ...  json         canonical profile JSON (rest of the body)
+//!   u8   kind         0 = profile, 1 = session chunk, 2 = session seal
+//!
+//!   kind 0 (profile — a fully ingested run):
+//!     u32  label_len    byte count of `label`
+//!     ...  label        UTF-8 label
+//!     u64  content_hash FNV-1a of the canonical JSON (the ProfileId)
+//!     ...  json         canonical profile JSON (rest of the body)
+//!
+//!   kind 1 (chunk — one staged piece of an open streaming session):
+//!     u64  session      session id
+//!     u64  seq          zero-based chunk sequence number
+//!     ...  payload      chunk JSON (rest of the body)
+//!
+//!   kind 2 (seal — commits a streamed session):
+//!     u64  session      session id
+//!     u64  chunks       number of chunks the session must replay with
+//!     u64  content_hash FNV-1a of the assembled canonical JSON
+//!     u32  label_len    byte count of `label`
+//!     ...  label        UTF-8 label (rest of the body, exactly)
 //! ```
+//!
+//! A sealed session replays as a profile only when every chunk
+//! `0..chunks` is present and the assembled canonical JSON hashes to the
+//! seal's `content_hash`; chunks with no seal (the client or daemon died
+//! mid-stream) are dropped wholesale. Snapshot compaction folds profile
+//! records into the snapshot and re-stages the chunk records of still
+//! open sessions into the fresh WAL, so an open stream survives a
+//! compaction that happens underneath it.
 //!
 //! ## Recovery contract
 //!
 //! [`scan_bytes`] validates records in order and stops at the first
 //! torn or corrupt one (bad header, short read, checksum mismatch,
-//! invalid UTF-8, inconsistent lengths). Everything before that point is
-//! returned; everything after is reported as truncated tail bytes, never
-//! an error. A writer reopened with [`WalWriter::open_after`] physically
-//! truncates the file to the intact prefix so later appends extend a
-//! clean log.
+//! unknown kind, invalid UTF-8, inconsistent lengths). Everything before
+//! that point is returned; everything after is reported as truncated
+//! tail bytes, never an error. A writer reopened with
+//! [`WalWriter::open_after`] physically truncates the file to the intact
+//! prefix so later appends extend a clean log.
 
 use crate::hash::fnv1a;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// On-disk format revision for WAL and snapshot files.
-pub const PERSIST_VERSION: u16 = 1;
+/// On-disk format revision for WAL and snapshot files. Version 2 added
+/// the record kind byte (streaming-session chunk and seal records).
+pub const PERSIST_VERSION: u16 = 2;
 
 /// Magic of the write-ahead log file.
 pub const WAL_MAGIC: [u8; 4] = *b"HPWL";
@@ -54,6 +80,10 @@ pub const RECORD_HEADER_LEN: usize = 12;
 /// WAL file name inside a data directory.
 pub const WAL_FILE: &str = "wal.log";
 
+const KIND_PROFILE: u8 = 0;
+const KIND_CHUNK: u8 = 1;
+const KIND_SEAL: u8 = 2;
+
 /// Path of the WAL inside `dir`.
 pub fn wal_path(dir: &Path) -> PathBuf {
     dir.join(WAL_FILE)
@@ -67,7 +97,7 @@ pub fn encode_file_header(magic: [u8; 4]) -> [u8; 8] {
     h
 }
 
-/// One intact record pulled off a log or snapshot.
+/// One intact profile record pulled off a log or snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalRecord {
     pub label: String,
@@ -77,18 +107,78 @@ pub struct WalRecord {
     pub content_hash: u64,
 }
 
-/// Serialize one record (record header + body).
+/// One staged chunk of an open streaming session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkRecord {
+    pub session: u64,
+    /// Zero-based sequence number within the session.
+    pub seq: u64,
+    /// Chunk JSON exactly as the client sent it.
+    pub payload: String,
+}
+
+/// The commit record of a streamed session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealRecord {
+    pub session: u64,
+    /// Number of chunks (`seq` 0..chunks) the session must replay with.
+    pub chunks: u64,
+    /// FNV-1a of the assembled canonical JSON — the resulting ProfileId.
+    pub content_hash: u64,
+    pub label: String,
+}
+
+/// Any intact record pulled off a log or snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalEntry {
+    Profile(WalRecord),
+    Chunk(ChunkRecord),
+    Seal(SealRecord),
+}
+
+/// Serialize one profile record (record header + body).
 pub fn encode_record(label: &str, json: &str, content_hash: u64) -> Vec<u8> {
-    let body_len = 4 + label.len() + 8 + json.len();
-    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + body_len);
-    out.extend_from_slice(&(body_len as u32).to_be_bytes());
-    let body_start = out.len() + 8;
-    out.extend_from_slice(&[0u8; 8]); // body_fnv placeholder
+    let body_len = 1 + 4 + label.len() + 8 + json.len();
+    let mut out = begin_record(body_len, KIND_PROFILE);
     out.extend_from_slice(&(label.len() as u32).to_be_bytes());
     out.extend_from_slice(label.as_bytes());
     out.extend_from_slice(&content_hash.to_be_bytes());
     out.extend_from_slice(json.as_bytes());
-    let fnv = fnv1a(&out[body_start..]);
+    finish_record(out)
+}
+
+/// Serialize one session-chunk record (record header + body).
+pub fn encode_chunk_record(session: u64, seq: u64, payload: &str) -> Vec<u8> {
+    let body_len = 1 + 8 + 8 + payload.len();
+    let mut out = begin_record(body_len, KIND_CHUNK);
+    out.extend_from_slice(&session.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    finish_record(out)
+}
+
+/// Serialize one session-seal record (record header + body).
+pub fn encode_seal_record(session: u64, chunks: u64, content_hash: u64, label: &str) -> Vec<u8> {
+    let body_len = 1 + 8 + 8 + 8 + 4 + label.len();
+    let mut out = begin_record(body_len, KIND_SEAL);
+    out.extend_from_slice(&session.to_be_bytes());
+    out.extend_from_slice(&chunks.to_be_bytes());
+    out.extend_from_slice(&content_hash.to_be_bytes());
+    out.extend_from_slice(&(label.len() as u32).to_be_bytes());
+    out.extend_from_slice(label.as_bytes());
+    finish_record(out)
+}
+
+fn begin_record(body_len: usize, kind: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + body_len);
+    out.extend_from_slice(&(body_len as u32).to_be_bytes());
+    out.extend_from_slice(&[0u8; 8]); // body_fnv placeholder
+    out.push(kind);
+    out
+}
+
+fn finish_record(mut out: Vec<u8>) -> Vec<u8> {
+    let fnv = fnv1a(&out[RECORD_HEADER_LEN..]);
     out[4..12].copy_from_slice(&fnv.to_be_bytes());
     out
 }
@@ -97,12 +187,22 @@ pub fn encode_record(label: &str, json: &str, content_hash: u64) -> Vec<u8> {
 #[derive(Clone, Debug, Default)]
 pub struct RecordScan {
     /// Intact records, in file order.
-    pub records: Vec<WalRecord>,
+    pub entries: Vec<WalEntry>,
     /// File offset just past the last intact record (or past the header
     /// when no record is intact; 0 when even the header is invalid).
     pub valid_len: u64,
     /// Bytes after `valid_len`: the torn/corrupt tail that replay drops.
     pub truncated_bytes: u64,
+}
+
+impl RecordScan {
+    /// The profile records among [`RecordScan::entries`], in file order.
+    pub fn profiles(&self) -> impl Iterator<Item = &WalRecord> {
+        self.entries.iter().filter_map(|e| match e {
+            WalEntry::Profile(r) => Some(r),
+            _ => None,
+        })
+    }
 }
 
 /// Scan a record file's raw bytes, stopping at the first torn or
@@ -112,19 +212,19 @@ pub fn scan_bytes(bytes: &[u8], magic: [u8; 4]) -> RecordScan {
     let header = encode_file_header(magic);
     if bytes.len() < header.len() || bytes[..header.len()] != header {
         return RecordScan {
-            records: Vec::new(),
+            entries: Vec::new(),
             valid_len: 0,
             truncated_bytes: total,
         };
     }
-    let mut records = Vec::new();
+    let mut entries = Vec::new();
     let mut off = header.len();
-    while let Some((record, next)) = decode_record_at(bytes, off) {
-        records.push(record);
+    while let Some((entry, next)) = decode_record_at(bytes, off) {
+        entries.push(entry);
         off = next;
     }
     RecordScan {
-        records,
+        entries,
         valid_len: off as u64,
         truncated_bytes: total - off as u64,
     }
@@ -132,7 +232,7 @@ pub fn scan_bytes(bytes: &[u8], magic: [u8; 4]) -> RecordScan {
 
 /// Decode the record starting at `off`, returning it plus the offset of
 /// the next record. `None` means torn/corrupt (or clean end of file).
-fn decode_record_at(bytes: &[u8], off: usize) -> Option<(WalRecord, usize)> {
+fn decode_record_at(bytes: &[u8], off: usize) -> Option<(WalEntry, usize)> {
     let rest = &bytes[off..];
     if rest.len() < RECORD_HEADER_LEN {
         return None; // clean end or torn record header
@@ -148,6 +248,17 @@ fn decode_record_at(bytes: &[u8], off: usize) -> Option<(WalRecord, usize)> {
     }
     // The checksum held, so the body should parse — but lengths are
     // re-validated anyway: a writer bug must not become a panic here.
+    let (&kind, body) = body.split_first()?;
+    let entry = match kind {
+        KIND_PROFILE => decode_profile_body(body)?,
+        KIND_CHUNK => decode_chunk_body(body)?,
+        KIND_SEAL => decode_seal_body(body)?,
+        _ => return None, // record from a future format revision
+    };
+    Some((entry, off + RECORD_HEADER_LEN + body_len))
+}
+
+fn decode_profile_body(body: &[u8]) -> Option<WalEntry> {
     if body.len() < 12 {
         return None;
     }
@@ -162,14 +273,45 @@ fn decode_record_at(bytes: &[u8], off: usize) -> Option<(WalRecord, usize)> {
     if fnv1a(json.as_bytes()) != content_hash {
         return None; // label and JSON were swapped / mis-framed
     }
-    Some((
-        WalRecord {
-            label: label.to_string(),
-            json: json.to_string(),
-            content_hash,
-        },
-        off + RECORD_HEADER_LEN + body_len,
-    ))
+    Some(WalEntry::Profile(WalRecord {
+        label: label.to_string(),
+        json: json.to_string(),
+        content_hash,
+    }))
+}
+
+fn decode_chunk_body(body: &[u8]) -> Option<WalEntry> {
+    if body.len() < 16 {
+        return None;
+    }
+    let session = u64::from_be_bytes(body[..8].try_into().unwrap());
+    let seq = u64::from_be_bytes(body[8..16].try_into().unwrap());
+    let payload = std::str::from_utf8(&body[16..]).ok()?;
+    Some(WalEntry::Chunk(ChunkRecord {
+        session,
+        seq,
+        payload: payload.to_string(),
+    }))
+}
+
+fn decode_seal_body(body: &[u8]) -> Option<WalEntry> {
+    if body.len() < 28 {
+        return None;
+    }
+    let session = u64::from_be_bytes(body[..8].try_into().unwrap());
+    let chunks = u64::from_be_bytes(body[8..16].try_into().unwrap());
+    let content_hash = u64::from_be_bytes(body[16..24].try_into().unwrap());
+    let label_len = u32::from_be_bytes(body[24..28].try_into().unwrap()) as usize;
+    if body.len() != 28 + label_len {
+        return None;
+    }
+    let label = std::str::from_utf8(&body[28..]).ok()?;
+    Some(WalEntry::Seal(SealRecord {
+        session,
+        chunks,
+        content_hash,
+        label: label.to_string(),
+    }))
 }
 
 /// Scan a record file on disk. A missing file scans as empty (zero
@@ -225,8 +367,8 @@ impl WalWriter {
         Ok(WalWriter { file, bytes, fsync })
     }
 
-    /// Append one record and flush it to the OS (plus `fsync` when
-    /// configured). Returns the record's encoded size.
+    /// Append one profile record and flush it to the OS (plus `fsync`
+    /// when configured). Returns the record's encoded size.
     pub fn append(&mut self, label: &str, json: &str, content_hash: u64) -> io::Result<u64> {
         let record = encode_record(label, json, content_hash);
         self.write_encoded(&record)?;
@@ -234,7 +376,8 @@ impl WalWriter {
         Ok(record.len() as u64)
     }
 
-    /// Buffer one pre-encoded record (see [`encode_record`]) without
+    /// Buffer one pre-encoded record (see [`encode_record`],
+    /// [`encode_chunk_record`], [`encode_seal_record`]) without
     /// flushing. A group-commit writer stages a whole batch this way and
     /// then makes it durable with one [`WalWriter::commit`].
     pub fn write_encoded(&mut self, record: &[u8]) -> io::Result<u64> {
@@ -301,11 +444,75 @@ mod tests {
         w.append("run-a", json, fnv1a(json.as_bytes())).unwrap();
         w.append("run-b", json, fnv1a(json.as_bytes())).unwrap();
         let scan = scan_file(&path, WAL_MAGIC).unwrap();
-        assert_eq!(scan.records.len(), 2);
-        assert_eq!(scan.records[0].label, "run-a");
-        assert_eq!(scan.records[1].json, json);
+        let profiles: Vec<_> = scan.profiles().collect();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].label, "run-a");
+        assert_eq!(profiles[1].json, json);
         assert_eq!(scan.truncated_bytes, 0);
         assert_eq!(scan.valid_len, w.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_records_round_trip() {
+        let dir = tmp("session");
+        let path = wal_path(&dir);
+        let mut w = WalWriter::open_after(&path, 0, false).unwrap();
+        let json = "{\"k\":1}";
+        w.write_encoded(&encode_chunk_record(7, 0, "{\"threads\":[]}"))
+            .unwrap();
+        w.write_encoded(&encode_record("oneshot", json, fnv1a(json.as_bytes())))
+            .unwrap();
+        w.write_encoded(&encode_chunk_record(7, 1, "{\"threads\":[1]}"))
+            .unwrap();
+        w.write_encoded(&encode_seal_record(7, 2, 0xDEAD_BEEF, "streamed"))
+            .unwrap();
+        w.commit().unwrap();
+        let scan = scan_file(&path, WAL_MAGIC).unwrap();
+        assert_eq!(scan.entries.len(), 4);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(
+            scan.entries[0],
+            WalEntry::Chunk(ChunkRecord {
+                session: 7,
+                seq: 0,
+                payload: "{\"threads\":[]}".to_string(),
+            })
+        );
+        assert!(matches!(&scan.entries[1], WalEntry::Profile(r) if r.label == "oneshot"));
+        assert!(matches!(&scan.entries[2], WalEntry::Chunk(c) if c.seq == 1));
+        assert_eq!(
+            scan.entries[3],
+            WalEntry::Seal(SealRecord {
+                session: 7,
+                chunks: 2,
+                content_hash: 0xDEAD_BEEF,
+                label: "streamed".to_string(),
+            })
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_record_kind_truncates_the_tail() {
+        let dir = tmp("unknownkind");
+        let path = wal_path(&dir);
+        let mut w = WalWriter::open_after(&path, 0, false).unwrap();
+        let json = "{\"k\":1}";
+        let first_end = FILE_HEADER_LEN + w.append("one", json, fnv1a(json.as_bytes())).unwrap();
+        drop(w);
+        // A record with a valid checksum but a kind from the future.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mut body = vec![9u8]; // unknown kind
+        body.extend_from_slice(b"payload");
+        bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&fnv1a(&body).to_be_bytes());
+        bytes.extend_from_slice(&body);
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_file(&path, WAL_MAGIC).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.valid_len, first_end);
+        assert!(scan.truncated_bytes > 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -323,7 +530,7 @@ mod tests {
         bytes.extend_from_slice(&[0xAB; 7]);
         std::fs::write(&path, &bytes).unwrap();
         let scan = scan_file(&path, WAL_MAGIC).unwrap();
-        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.entries.len(), 1);
         assert_eq!(scan.valid_len, whole);
         assert_eq!(scan.truncated_bytes, 7);
         // Reopening after the intact prefix discards the tail.
@@ -347,8 +554,9 @@ mod tests {
         bytes[hit] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         let scan = scan_file(&path, WAL_MAGIC).unwrap();
-        assert_eq!(scan.records.len(), 1);
-        assert_eq!(scan.records[0].label, "one");
+        let profiles: Vec<_> = scan.profiles().collect();
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].label, "one");
         assert_eq!(scan.valid_len, first_end);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -365,7 +573,7 @@ mod tests {
         }
         w.commit().unwrap();
         let scan = scan_file(&path, WAL_MAGIC).unwrap();
-        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.entries.len(), 3);
         assert_eq!(scan.valid_len, w.len());
         assert_eq!(scan.truncated_bytes, 0);
         std::fs::remove_dir_all(&dir).ok();
@@ -375,7 +583,7 @@ mod tests {
     fn missing_file_scans_empty() {
         let dir = tmp("missing");
         let scan = scan_file(&wal_path(&dir), WAL_MAGIC).unwrap();
-        assert!(scan.records.is_empty());
+        assert!(scan.entries.is_empty());
         assert_eq!(scan.truncated_bytes, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -386,7 +594,7 @@ mod tests {
         let path = wal_path(&dir);
         std::fs::write(&path, b"NOPE0000somebytes").unwrap();
         let scan = scan_file(&path, WAL_MAGIC).unwrap();
-        assert!(scan.records.is_empty());
+        assert!(scan.entries.is_empty());
         assert_eq!(scan.valid_len, 0);
         assert_eq!(scan.truncated_bytes, 17);
         std::fs::remove_dir_all(&dir).ok();

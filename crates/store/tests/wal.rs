@@ -7,6 +7,7 @@ use numa_machine::{Machine, MachinePreset, PlacementPolicy};
 use numa_profiler::{finish_profile, NumaProfile, NumaProfiler, ProfilerConfig};
 use numa_sampling::{MechanismConfig, MechanismKind};
 use numa_sim::{ExecMode, Program};
+use numa_store::stream::{assemble, split_profile, ChunkPayload};
 use numa_store::wal::{scan_file, wal_path, FILE_HEADER_LEN, WAL_MAGIC};
 use numa_store::{PersistOptions, ProfileStore};
 use proptest::prelude::*;
@@ -110,7 +111,7 @@ fn flush_compacts_wal_into_snapshot() {
     }
     // After a flush the WAL holds nothing but its header.
     let scan = scan_file(&wal_path(&dir), WAL_MAGIC).unwrap();
-    assert!(scan.records.is_empty());
+    assert!(scan.entries.is_empty());
     assert_eq!(scan.truncated_bytes, 0);
 
     let store = open(&dir, PersistOptions::default());
@@ -170,7 +171,84 @@ fn duplicate_content_is_not_persisted_twice() {
         assert_eq!(store.len(), 1);
     }
     let scan = scan_file(&wal_path(&dir), WAL_MAGIC).unwrap();
-    assert_eq!(scan.records.len(), 1);
+    assert_eq!(scan.entries.len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sealed_sessions_replay_and_unsealed_are_dropped() {
+    let dir = scratch("sessions");
+    let oracle = ProfileStore::new();
+    oracle.ingest_bytes("streamed", &corpus()[0]).unwrap();
+    let a = NumaProfile::from_json(&corpus()[0]).unwrap();
+    let b = NumaProfile::from_json(&corpus()[1]).unwrap();
+    let a_chunks: Vec<String> = split_profile(&a, 2).iter().map(|c| c.to_json()).collect();
+    let b_chunks: Vec<String> = split_profile(&b, 2).iter().map(|c| c.to_json()).collect();
+    {
+        let store = open(&dir, PersistOptions::default());
+        for (seq, payload) in a_chunks.iter().enumerate() {
+            store.stage_chunk(1, seq as u64, payload);
+        }
+        // Session 2 stages two chunks but never seals: a dead client.
+        for (seq, payload) in b_chunks.iter().enumerate().take(2) {
+            store.stage_chunk(2, seq as u64, payload);
+        }
+        let parts: Vec<ChunkPayload> = a_chunks
+            .iter()
+            .map(|p| ChunkPayload::from_json(p).unwrap())
+            .collect();
+        let (_, added) = store.commit_sealed(1, "streamed", assemble(parts).unwrap());
+        assert!(added);
+        // The sealed stream is byte-identical to one-shot ingest: same
+        // set hash, and re-ingesting the original JSON dedups.
+        assert_eq!(store.set_hash(), oracle.set_hash());
+        let (_, again) = store.ingest_bytes("streamed", &corpus()[0]).unwrap();
+        assert!(!again);
+        // No flush: recovery must come from chunk + seal records.
+    }
+    let store = open(&dir, PersistOptions::default());
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.set_hash(), oracle.set_hash());
+    assert_eq!(&*store.resolve("streamed").unwrap().label, "streamed");
+    assert_eq!(
+        store.aggregate().unwrap().text(),
+        oracle.aggregate().unwrap().text()
+    );
+    let p = store.persist_stats();
+    assert_eq!(p.sessions_recovered, 1);
+    assert_eq!(p.sessions_dropped, 1);
+    assert_eq!(p.session_chunks_replayed, (a_chunks.len() + 2) as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_restages_open_session_chunks() {
+    let dir = scratch("retain");
+    let a = NumaProfile::from_json(&corpus()[0]).unwrap();
+    let chunks: Vec<String> = split_profile(&a, 1).iter().map(|c| c.to_json()).collect();
+    {
+        let store = open(&dir, PersistOptions::default());
+        for (seq, payload) in chunks.iter().enumerate() {
+            store.stage_chunk(9, seq as u64, payload);
+        }
+        // A compaction resets the WAL underneath the open session...
+        store.ingest_bytes("oneshot", &corpus()[1]).unwrap();
+        store.flush().unwrap();
+        // ...but the seal that follows must still find its chunks on
+        // replay, because compaction re-staged them into the fresh log.
+        let parts: Vec<ChunkPayload> = chunks
+            .iter()
+            .map(|p| ChunkPayload::from_json(p).unwrap())
+            .collect();
+        let (_, added) = store.commit_sealed(9, "streamed", assemble(parts).unwrap());
+        assert!(added);
+    }
+    let store = open(&dir, PersistOptions::default());
+    assert_eq!(store.len(), 2);
+    assert_eq!(&*store.resolve("streamed").unwrap().label, "streamed");
+    let p = store.persist_stats();
+    assert_eq!(p.sessions_recovered, 1);
+    assert_eq!(p.sessions_dropped, 0);
     std::fs::remove_dir_all(&dir).ok();
 }
 
