@@ -223,7 +223,7 @@ fn bench_contention(c: &mut Criterion) {
                 s.spawn(move || {
                     for (i, (label, profile)) in parsed.iter().enumerate().skip(w).step_by(WORKERS)
                     {
-                        store.ingest_profile(label, profile.clone());
+                        store.ingest_profile(label, profile.clone()).unwrap();
                         if i % 16 == 0 {
                             store.clear_cache();
                         }

@@ -39,7 +39,10 @@ usage: hpcd-sim [--listen ADDR]          (default 127.0.0.1:7701; port 0 = ephem
                 [--shards N]             (store shard count, rounded to a power of two; default 8)
                 [--session-lease-ms N]   (streaming-session lease; default 30000)
                 [--session-max-kib N]    (per-session buffer cap in KiB; default 65536)
-                [--max-sessions N]       (concurrent streaming sessions; default 64)";
+                [--max-sessions N]       (concurrent streaming sessions; default 64)
+                [--fault-spec SPEC]      (testing: inject storage faults into the durable
+                                          store, e.g. enospc=4096 or sync=2,rename=1;
+                                          see numa-faults::FaultSpec::parse)";
 
 fn main() {
     let args = Args::parse().unwrap_or_else(|e| die(USAGE, &e));
@@ -59,6 +62,7 @@ fn main() {
         "session-lease-ms",
         "session-max-kib",
         "max-sessions",
+        "fault-spec",
     ])
     .unwrap_or_else(|e| die(USAGE, &e));
 
@@ -114,7 +118,15 @@ fn main() {
     };
 
     let store = match args.get("data-dir") {
-        None => Arc::new(ProfileStore::with_config(store_config)),
+        None => {
+            if args.get("fault-spec").is_some() {
+                die(
+                    USAGE,
+                    "--fault-spec requires --data-dir (it faults the durable store)",
+                );
+            }
+            Arc::new(ProfileStore::with_config(store_config))
+        }
         Some(dir) => {
             let opts = PersistOptions {
                 snapshot_wal_bytes: args
@@ -127,8 +139,21 @@ fn main() {
                     other => die(USAGE, &format!("--fsync-wal must be on|off, got {other:?}")),
                 },
             };
-            let store = ProfileStore::open_durable_config(Path::new(dir), store_config, opts)
-                .unwrap_or_else(|e| die(USAGE, &format!("cannot open data dir {dir}: {e}")));
+            // Testing hook: run the whole durability stack over an
+            // injecting storage layer. The daemon must answer faulted
+            // ingests with a typed error and keep serving reads.
+            let storage: Arc<dyn numa_faults::Storage> = match args.get("fault-spec") {
+                None => Arc::new(numa_faults::StdStorage),
+                Some(spec) => {
+                    let spec = numa_faults::FaultSpec::parse(spec)
+                        .unwrap_or_else(|e| die(USAGE, &format!("bad --fault-spec: {e}")));
+                    eprintln!("hpcd-sim: fault injection active: {spec:?}");
+                    Arc::new(numa_faults::FaultyStorage::new(spec))
+                }
+            };
+            let store =
+                ProfileStore::open_durable_config_with(Path::new(dir), store_config, opts, storage)
+                    .unwrap_or_else(|e| die(USAGE, &format!("cannot open data dir {dir}: {e}")));
             let p = store.persist_stats();
             eprintln!(
                 "hpcd-sim: recovered {} profile(s) from {dir} \
@@ -155,12 +180,16 @@ fn main() {
         for (label, err) in &report.io_errors {
             eprintln!("hpcd-sim: cannot read {label}: {err}");
         }
+        for (label, err) in &report.persist_failures {
+            eprintln!("hpcd-sim: not durable, rolled back {label}: {err}");
+        }
         eprintln!(
-            "hpcd-sim: preloaded {} profile(s) from {dir} ({} deduplicated, {} rejected, {} unreadable)",
+            "hpcd-sim: preloaded {} profile(s) from {dir} ({} deduplicated, {} rejected, {} unreadable, {} not durable)",
             report.added.len(),
             report.deduplicated,
             report.rejected.len(),
-            report.io_errors.len()
+            report.io_errors.len(),
+            report.persist_failures.len()
         );
     }
 

@@ -69,12 +69,16 @@ fn main() {
         for (label, err) in &report.io_errors {
             eprintln!("hpcstore-sim: cannot read {label}: {err}");
         }
+        for (label, err) in &report.persist_failures {
+            eprintln!("hpcstore-sim: not durable, rolled back {label}: {err}");
+        }
         eprintln!(
-            "hpcstore-sim: {} profile(s) ingested from {dir} ({} deduplicated, {} rejected, {} unreadable)",
+            "hpcstore-sim: {} profile(s) ingested from {dir} ({} deduplicated, {} rejected, {} unreadable, {} not durable)",
             report.added.len(),
             report.deduplicated,
             report.rejected.len(),
-            report.io_errors.len()
+            report.io_errors.len(),
+            report.persist_failures.len()
         );
     }
 

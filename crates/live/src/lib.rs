@@ -114,6 +114,12 @@ pub enum SessionError {
     /// The sealed chunk set does not assemble into a profile (missing
     /// or duplicate header, duplicate thread ids, no threads).
     Incomplete { session: u64, reason: String },
+    /// The durable store could not log the chunk or seal: the WAL
+    /// append failed and was rolled back, and the operation was **not**
+    /// applied. For an append, the session stays open at the same
+    /// expected sequence number so the client can retry the chunk; for
+    /// a seal, the session is discarded and must be re-streamed.
+    NotDurable { session: u64, message: String },
 }
 
 impl SessionError {
@@ -175,6 +181,12 @@ impl fmt::Display for SessionError {
             ),
             SessionError::Incomplete { session, reason } => {
                 write!(f, "session {session:#x} does not assemble: {reason}")
+            }
+            SessionError::NotDurable { session, message } => {
+                write!(
+                    f,
+                    "session {session:#x}: operation not durable (rolled back): {message}"
+                )
             }
         }
     }
@@ -402,10 +414,28 @@ impl SessionManager {
             inner.open_bytes
         };
         // Durable staging blocks on the group commit, so an acked chunk
-        // survives a daemon SIGKILL. The lease can expire mid-write: if
-        // the janitor reaped the session meanwhile, discard what was
-        // just staged so the store's retained map cannot leak.
-        self.store.stage_chunk(session, seq, chunk_json);
+        // survives a daemon SIGKILL. A failed append already un-staged
+        // itself from the store's retained map; roll the in-memory push
+        // back in step so the session still expects this sequence
+        // number and the client can retry the same chunk.
+        if let Err(e) = self.store.stage_chunk(session, seq, chunk_json) {
+            let mut inner = self.inner.lock();
+            if let Some(s) = inner.sessions.get_mut(&session) {
+                if s.next_seq == seq + 1 {
+                    s.chunks.pop();
+                    s.bytes -= len;
+                    s.next_seq = seq;
+                    inner.open_bytes -= len;
+                }
+            }
+            return Err(SessionError::NotDurable {
+                session,
+                message: e.to_string(),
+            });
+        }
+        // The lease can expire mid-write: if the janitor reaped the
+        // session meanwhile, discard what was just staged so the
+        // store's retained map cannot leak.
         if !self.inner.lock().sessions.contains_key(&session) {
             self.store.discard_session(session);
             return Err(SessionError::UnknownSession { session });
@@ -430,11 +460,22 @@ impl SessionManager {
         };
         let chunks = s.next_seq;
         match assemble(s.chunks) {
-            Ok(profile) => {
-                let (id, added) = self.store.commit_sealed(session, &s.label, profile);
-                self.sealed.fetch_add(1, Ordering::Relaxed);
-                Ok(Sealed { id, added, chunks })
-            }
+            Ok(profile) => match self.store.commit_sealed(session, &s.label, profile) {
+                Ok((id, added)) => {
+                    self.sealed.fetch_add(1, Ordering::Relaxed);
+                    Ok(Sealed { id, added, chunks })
+                }
+                // The store already rolled the commit back and
+                // discarded the session's staged chunks; the client
+                // must re-stream.
+                Err(e) => {
+                    self.aborted.fetch_add(1, Ordering::Relaxed);
+                    Err(SessionError::NotDurable {
+                        session,
+                        message: e.to_string(),
+                    })
+                }
+            },
             Err(e) => {
                 self.store.discard_session(session);
                 self.aborted.fetch_add(1, Ordering::Relaxed);

@@ -716,6 +716,13 @@ pub enum WireError {
     /// A sealed chunk set did not assemble into a profile; the session
     /// was discarded.
     SessionIncomplete { session: u64, detail: String },
+    /// The daemon could not make the operation durable (WAL append or
+    /// commit failed — full disk, I/O error). The operation was rolled
+    /// back, **not** applied: an ingest can be retried as-is; a chunk
+    /// append can be retried at the same sequence number; a failed seal
+    /// discards the session, which must be re-streamed. The daemon
+    /// keeps serving reads, and the connection stays usable.
+    NotDurable { detail: String },
 }
 
 impl fmt::Display for WireError {
@@ -802,6 +809,9 @@ impl fmt::Display for WireError {
             ),
             WireError::SessionIncomplete { session, detail } => {
                 write!(f, "session {session:#x} does not assemble: {detail}")
+            }
+            WireError::NotDurable { detail } => {
+                write!(f, "operation not durable (rolled back): {detail}")
             }
         }
     }

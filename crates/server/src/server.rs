@@ -554,6 +554,9 @@ fn session_error(e: SessionError) -> WireError {
             session,
             detail: reason,
         },
+        e @ SessionError::NotDurable { .. } => WireError::NotDurable {
+            detail: e.to_string(),
+        },
     }
 }
 
@@ -587,6 +590,7 @@ fn wire_error(e: StoreError) -> WireError {
         },
         StoreError::EmptyStore => WireError::EmptyStore,
         StoreError::UnknownVariable(name) => WireError::UnknownVariable { name },
+        StoreError::Persist { message } => WireError::NotDurable { detail: message },
     }
 }
 

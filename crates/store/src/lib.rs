@@ -75,6 +75,12 @@ pub enum StoreError {
     EmptyStore,
     /// A query referenced a variable the profile never recorded.
     UnknownVariable(String),
+    /// A durable store could not log the operation: the WAL append or
+    /// its group commit failed, the uncommitted log tail was rolled
+    /// back, and the operation was **not** applied — the caller may
+    /// retry once the underlying condition (full disk, I/O error)
+    /// clears. An ingest is never acknowledged-then-dropped.
+    Persist { message: String },
 }
 
 impl fmt::Display for StoreError {
@@ -102,6 +108,9 @@ impl fmt::Display for StoreError {
             StoreError::EmptyStore => write!(f, "the store holds no profiles"),
             StoreError::UnknownVariable(name) => {
                 write!(f, "variable {name:?} not present in the profile")
+            }
+            StoreError::Persist { message } => {
+                write!(f, "ingest not durable (operation rolled back): {message}")
             }
         }
     }
@@ -171,6 +180,11 @@ pub struct BatchReport {
     /// populated by file-based ingestion ([`ProfileStore::ingest_dir`]);
     /// an unreadable file skips that file, never the batch.
     pub io_errors: Vec<(String, String)>,
+    /// Inputs that parsed but could not be made durable: (label,
+    /// persistence error). The profile was **not** added — the WAL
+    /// group holding it failed and was rolled back, so the input can be
+    /// retried once the underlying condition clears.
+    pub persist_failures: Vec<(String, String)>,
 }
 
 impl BatchReport {
@@ -180,6 +194,7 @@ impl BatchReport {
         self.deduplicated += other.deduplicated;
         self.rejected.extend(other.rejected);
         self.io_errors.extend(other.io_errors);
+        self.persist_failures.extend(other.persist_failures);
     }
 }
 
@@ -412,8 +427,10 @@ pub struct PersistStats {
     pub wal_bytes: u64,
     /// Snapshot compactions performed since startup (flushes included).
     pub snapshots_written: u64,
-    /// Append/compaction I/O failures (the store keeps serving from
-    /// memory; durability of the affected records is lost).
+    /// Append/compaction I/O failures. A failed append fails its whole
+    /// commit group: the log tail is rolled back and every affected
+    /// ingest returns [`StoreError::Persist`] instead of being
+    /// acknowledged. The store keeps serving reads from memory.
     pub io_errors: u64,
     /// Streaming sessions whose seal replayed to a complete profile at
     /// startup.
@@ -546,6 +563,22 @@ impl ProfileStore {
         config: StoreConfig,
         opts: PersistOptions,
     ) -> io::Result<ProfileStore> {
+        Self::open_durable_config_with(dir, config, opts, Arc::new(numa_faults::StdStorage))
+    }
+
+    /// [`ProfileStore::open_durable_config`] over an explicit
+    /// [`numa_faults::Storage`] backend. Production callers use
+    /// [`numa_faults::StdStorage`] (what the plain constructors do);
+    /// tests and the `--fault-spec` daemon flag pass a
+    /// [`numa_faults::FaultyStorage`] to inject I/O failures into every
+    /// persistence path — recovery scans, WAL appends, snapshot
+    /// compaction, directory fsyncs — without touching this code.
+    pub fn open_durable_config_with(
+        dir: &Path,
+        config: StoreConfig,
+        opts: PersistOptions,
+        storage: Arc<dyn numa_faults::Storage>,
+    ) -> io::Result<ProfileStore> {
         std::fs::create_dir_all(dir)?;
         let store = Self::with_config(config);
         let mut base = PersistStats {
@@ -553,10 +586,10 @@ impl ProfileStore {
             ..PersistStats::default()
         };
 
-        let snap = snapshot::load_snapshot(dir)?;
+        let snap = snapshot::load_snapshot_with(&*storage, dir)?;
         base.snapshot_records_loaded = snap.entries.len() as u64;
         base.snapshot_truncated_bytes = snap.truncated_bytes;
-        let log = wal::scan_file(&wal::wal_path(dir), wal::WAL_MAGIC)?;
+        let log = wal::scan_file_with(&*storage, &wal::wal_path(dir), wal::WAL_MAGIC)?;
         base.wal_records_replayed = log.entries.len() as u64;
         base.wal_truncated_bytes = log.truncated_bytes;
 
@@ -597,7 +630,8 @@ impl ProfileStore {
         base.sessions_dropped += chunks.len() as u64; // chunks with no seal
         base.replay_parse_failures = store.replay(records);
 
-        let writer = wal::WalWriter::open_after(&wal::wal_path(dir), log.valid_len, opts.fsync)?;
+        let writer =
+            wal::WalWriter::open_with(&*storage, &wal::wal_path(dir), log.valid_len, opts.fsync)?;
         // The compaction corpus closure runs on the persister thread: it
         // clones profile `Arc`s under brief shard read locks, then
         // serializes outside any lock (in parallel under rayon).
@@ -613,10 +647,19 @@ impl ProfileStore {
         let session_log = Arc::clone(&store.session_log);
         let retained: persist::RetainedFn = Box::new(move || {
             let log = session_log.lock();
-            log.values().flatten().cloned().collect()
+            log.iter()
+                .flat_map(|(session, records)| records.iter().map(|r| (*session, r.clone())))
+                .collect()
         });
-        let persister =
-            persist::Persister::spawn(dir.to_path_buf(), writer, opts, base, corpus, retained)?;
+        let persister = persist::Persister::spawn(
+            dir.to_path_buf(),
+            writer,
+            opts,
+            base,
+            storage,
+            corpus,
+            retained,
+        )?;
         let _ = store.persist.set(persister);
         Ok(store)
     }
@@ -629,10 +672,16 @@ impl ProfileStore {
         seal: &wal::SealRecord,
         parts: std::collections::BTreeMap<u64, String>,
     ) -> Option<wal::WalRecord> {
-        if parts.len() as u64 != seal.chunks
-            || parts.keys().next_back() != seal.chunks.checked_sub(1).as_ref()
-        {
-            return None; // missing or out-of-range chunks
+        // Chunks past the sealed count are orphans of appends whose ack
+        // reported failure (the record hit disk but its group did not
+        // commit); the seal's prefix is what was acknowledged, so only
+        // it counts.
+        let parts: std::collections::BTreeMap<u64, String> = parts
+            .into_iter()
+            .filter(|(seq, _)| *seq < seal.chunks)
+            .collect();
+        if parts.len() as u64 != seal.chunks {
+            return None; // missing chunks
         }
         let chunks: Vec<stream::ChunkPayload> = parts
             .values()
@@ -727,17 +776,25 @@ impl ProfileStore {
         }
     }
 
-    /// Log freshly inserted profiles and block until the group-commit
-    /// persister has them flushed. `fresh` rows are
+    /// Log profiles about to be inserted and block until the
+    /// group-commit persister has them flushed. `fresh` rows are
     /// `(label, canonical json, id)`; record encoding happens here, on
-    /// the ingest thread, outside every lock.
-    fn persist_batch(&self, fresh: &[(Arc<str>, String, ProfileId)]) {
-        let Some(p) = self.persist.get() else { return };
+    /// the ingest thread, outside every lock. Returns one result per
+    /// row, in input order: `Err` means the row's commit group failed
+    /// and was rolled back — the caller must **not** insert that
+    /// profile (ack ⇒ durable). In-memory stores report every row `Ok`.
+    fn persist_batch(&self, fresh: &[(&str, &str, ProfileId)]) -> Vec<Result<(), String>> {
+        let Some(p) = self.persist.get() else {
+            return fresh.iter().map(|_| Ok(())).collect();
+        };
         let records: Vec<Vec<u8>> = fresh
             .iter()
             .map(|(label, json, id)| wal::encode_record(label, json, id.0))
             .collect();
-        p.append_all(records);
+        p.append_all(records)
+            .into_iter()
+            .map(|r| r.map_err(|e| e.to_string()))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -748,46 +805,112 @@ impl ProfileStore {
     /// until the group-commit persister has it flushed — an acknowledged
     /// chunk survives a SIGKILL of the daemon (it replays if and only if
     /// its session later seals). A no-op for in-memory stores.
-    pub fn stage_chunk(&self, session: u64, seq: u64, payload: &str) {
-        let Some(p) = self.persist.get() else { return };
+    ///
+    /// On a persistence failure the chunk is un-staged (the seal's
+    /// chunk count must only cover durable chunks) and
+    /// [`StoreError::Persist`] is returned; the caller should roll the
+    /// session's in-memory state back in step so a retry of the same
+    /// sequence number is possible.
+    pub fn stage_chunk(&self, session: u64, seq: u64, payload: &str) -> Result<(), StoreError> {
+        let Some(p) = self.persist.get() else {
+            return Ok(());
+        };
         let record = wal::encode_chunk_record(session, seq, payload);
+        // Staged before the append so a compaction racing it re-stages
+        // the chunk into the fresh log rather than losing it.
         self.session_log
             .lock()
             .entry(session)
             .or_default()
             .push(record.clone());
-        p.append_all(vec![record]);
+        match p.append_all(vec![record]).pop() {
+            Some(Err(e)) => {
+                let mut log = self.session_log.lock();
+                if let Some(records) = log.get_mut(&session) {
+                    records.pop();
+                    if records.is_empty() {
+                        log.remove(&session);
+                    }
+                }
+                Err(StoreError::Persist {
+                    message: e.to_string(),
+                })
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Commit a sealed streaming session: insert the assembled profile
-    /// through the ordinary ingest path and append the seal record that
-    /// makes the staged chunks replayable. The result is
-    /// indistinguishable from [`ProfileStore::ingest_profile`] of the
-    /// same profile — same id, same set hash, same aggregate text.
-    /// Returns `(id, newly_added)`; a dedup (`false`) appends no seal,
-    /// and either way the session's staged chunks are discarded.
+    /// and append the seal record that makes the staged chunks
+    /// replayable. The result is indistinguishable from
+    /// [`ProfileStore::ingest_profile`] of the same profile — same id,
+    /// same set hash, same aggregate text. Returns `(id, newly_added)`;
+    /// a dedup (`false`) appends no seal, and either way the session's
+    /// staged chunks are discarded.
+    ///
+    /// The insert precedes the seal append so a compaction racing the
+    /// commit always captures the profile in its snapshot corpus; if
+    /// the seal append then fails, the insert is rolled back, the
+    /// session is discarded, and [`StoreError::Persist`] is returned —
+    /// the commit was **not** acknowledged-then-dropped, and the client
+    /// can re-stream. If an earlier failed compaction lost the
+    /// session's staged chunks (the persister refuses the seal), the
+    /// commit falls back to persisting the assembled profile as an
+    /// ordinary record, restoring the durability the chunks lost.
     pub fn commit_sealed(
         &self,
         session: u64,
         label: &str,
         profile: NumaProfile,
-    ) -> (ProfileId, bool) {
+    ) -> Result<(ProfileId, bool), StoreError> {
         let (id, canonical) = ProfileId::of(&profile);
         let sp = Arc::new(StoredProfile::new(id, label, profile, canonical.len()));
         let added = self.insert(sp);
-        if added {
-            if let Some(p) = self.persist.get() {
-                let chunks = self
-                    .session_log
-                    .lock()
-                    .get(&session)
-                    .map(|v| v.len() as u64)
-                    .unwrap_or(0);
-                p.append_all(vec![wal::encode_seal_record(session, chunks, id.0, label)]);
+        if !added {
+            self.discard_session(session);
+            return Ok((id, false));
+        }
+        let Some(p) = self.persist.get() else {
+            self.discard_session(session);
+            return Ok((id, true));
+        };
+        let seal = {
+            let mut log = self.session_log.lock();
+            let records = log.entry(session).or_default();
+            let seal = wal::encode_seal_record(session, records.len() as u64, id.0, label);
+            // Keep the seal alongside the chunks until the commit is
+            // settled: a compaction racing it re-stages chunks *and*
+            // seal together, so the sealed session survives the WAL
+            // reset even before the seal append is processed.
+            records.push(seal.clone());
+            seal
+        };
+        match p.append_seal(seal, session) {
+            Ok(()) => {
+                self.discard_session(session);
+                Ok((id, true))
+            }
+            Err(persist::AppendError::SessionPoisoned) => {
+                // The chunks this seal counts on are gone from the WAL.
+                // The assembled profile is in hand, so persist it as an
+                // ordinary record instead of sealing.
+                self.discard_session(session);
+                match self.persist_batch(&[(label, &canonical, id)]).pop() {
+                    Some(Err(message)) => {
+                        self.remove(id);
+                        Err(StoreError::Persist { message })
+                    }
+                    _ => Ok((id, true)),
+                }
+            }
+            Err(e) => {
+                self.remove(id);
+                self.discard_session(session);
+                Err(StoreError::Persist {
+                    message: e.to_string(),
+                })
             }
         }
-        self.discard_session(session);
-        (id, added)
     }
 
     /// Drop a session's staged chunk records (on seal, abort, or lease
@@ -804,23 +927,43 @@ impl ProfileStore {
 
     /// Ingest an already-parsed profile. Returns its id and whether it
     /// was new (`false` = content-identical profile already stored).
-    /// On durable stores the profile is in the WAL (flushed to the OS)
-    /// before this returns.
-    pub fn ingest_profile(&self, label: &str, profile: NumaProfile) -> (ProfileId, bool) {
+    ///
+    /// On durable stores the profile becomes visible first, then is
+    /// WAL-committed (flushed to the OS, group-committed) before the
+    /// call returns — insert-then-persist. The order matters: a
+    /// snapshot compaction racing this ingest clones the store's
+    /// corpus and then *resets the WAL*, so a record persisted before
+    /// its insert could be wiped from the log while still missing from
+    /// the snapshot — acknowledged yet unrecoverable. Inserting first
+    /// guarantees any compaction that discards this profile's WAL
+    /// record has already captured the profile itself. A persistence
+    /// failure rolls the insert back and returns
+    /// [`StoreError::Persist`]; the WAL tail was truncated too, so the
+    /// ingest can simply be retried. (A concurrent identical ingest
+    /// can dedup against an insert whose persistence then fails — it
+    /// reports `(id, false)` for a profile that ends up absent; closing
+    /// that window would serialize all ingest on one lock.)
+    pub fn ingest_profile(
+        &self,
+        label: &str,
+        profile: NumaProfile,
+    ) -> Result<(ProfileId, bool), StoreError> {
         let (id, canonical) = ProfileId::of(&profile);
         let sp = Arc::new(StoredProfile::new(id, label, profile, canonical.len()));
-        let label = Arc::clone(&sp.label);
-        let added = self.insert(sp);
-        if added {
-            self.persist_batch(&[(label, canonical, id)]);
+        if !self.insert(sp) {
+            return Ok((id, false));
         }
-        (id, added)
+        if let Some(Err(message)) = self.persist_batch(&[(label, &canonical, id)]).pop() {
+            self.remove(id);
+            return Err(StoreError::Persist { message });
+        }
+        Ok((id, true))
     }
 
     /// Ingest one serialized profile.
     pub fn ingest_bytes(&self, label: &str, json: &str) -> Result<(ProfileId, bool), StoreError> {
         match NumaProfile::from_json(json) {
-            Ok(profile) => Ok(self.ingest_profile(label, profile)),
+            Ok(profile) => self.ingest_profile(label, profile),
             Err(e) => {
                 self.parse_failures.fetch_add(1, Ordering::Relaxed);
                 Err(StoreError::Parse {
@@ -854,16 +997,21 @@ impl ProfileStore {
             })
             .collect_vec();
         let mut report = BatchReport::default();
-        let mut fresh: Vec<(Arc<str>, String, ProfileId)> = Vec::new();
+        // Insert-then-persist, same reasoning as `ingest_profile`: the
+        // fresh profiles become visible first (so a racing compaction's
+        // snapshot always has them), then the whole batch is
+        // WAL-committed as one group. A row the persister failed is
+        // rolled back out of the store and reported, never silently
+        // kept as ingested-but-volatile.
+        let mut fresh: Vec<(Arc<StoredProfile>, String)> = Vec::new();
         for item in parsed {
             match item {
                 Ok((sp, canonical)) => {
-                    let id = sp.id;
-                    let label = Arc::clone(&sp.label);
-                    if self.insert(sp) {
-                        report.added.push(id);
-                        fresh.push((label, canonical, id));
+                    if self.insert(Arc::clone(&sp)) {
+                        fresh.push((sp, canonical));
                     } else {
+                        // An identical input earlier in this batch (or a
+                        // racing ingest) won.
                         report.deduplicated += 1;
                     }
                 }
@@ -873,7 +1021,22 @@ impl ProfileStore {
                 }
             }
         }
-        self.persist_batch(&fresh);
+        let rows: Vec<(&str, &str, ProfileId)> = fresh
+            .iter()
+            .map(|(sp, canonical)| (&*sp.label, canonical.as_str(), sp.id))
+            .collect();
+        let results = self.persist_batch(&rows);
+        for ((sp, _), result) in fresh.into_iter().zip(results) {
+            match result {
+                Ok(()) => report.added.push(sp.id),
+                Err(message) => {
+                    self.remove(sp.id);
+                    report
+                        .persist_failures
+                        .push((sp.label.to_string(), message));
+                }
+            }
+        }
         report
     }
 
@@ -931,6 +1094,25 @@ impl ProfileStore {
             shard.ingests.fetch_add(1, Ordering::Relaxed);
             true
         }
+    }
+
+    /// Roll back an insert whose persistence failed (see
+    /// [`ProfileStore::commit_sealed`]). O(shard size) — only the
+    /// error path pays it.
+    fn remove(&self, id: ProfileId) -> bool {
+        let shard = self.shards.of(id);
+        let mut shelf = shard.write();
+        let Some(slot) = shelf.by_id.remove(&id) else {
+            return false;
+        };
+        shelf.profiles.remove(slot);
+        for idx in shelf.by_id.values_mut() {
+            if *idx > slot {
+                *idx -= 1;
+            }
+        }
+        shelf.set_hash ^= mix(SET_HASH_SALT, id.0);
+        true
     }
 
     // ------------------------------------------------------------------

@@ -2,8 +2,12 @@
 //!
 //! A snapshot is the same record stream as the WAL (see [`crate::wal`])
 //! under a different magic, holding one record per stored profile. It
-//! is written atomically — to a `.tmp` sibling, synced, then renamed
-//! over the live file — so a crash mid-snapshot leaves the previous
+//! is written *power-loss atomically*: to a `.tmp` sibling, synced,
+//! renamed over the live file, and then the containing directory is
+//! fsynced — the rename itself lives in directory metadata, so without
+//! that last sync a power loss after a "successful" compaction could
+//! resurrect the old snapshot against an already-truncated WAL and lose
+//! acknowledged records. A crash mid-snapshot leaves the previous
 //! snapshot intact. After a successful snapshot the WAL is reset: the
 //! snapshot-plus-empty-log pair is equivalent to the old
 //! snapshot-plus-full-log pair.
@@ -12,9 +16,9 @@
 //! content-addressed ingestion dedups any overlap (a record present in
 //! both because a crash interleaved an append with a compaction).
 
-use crate::wal::{encode_file_header, encode_record, scan_file, RecordScan, SNAPSHOT_MAGIC};
-use std::fs::File;
-use std::io::{self, Write};
+use crate::wal::{encode_file_header, encode_record, scan_file_with, RecordScan, SNAPSHOT_MAGIC};
+use numa_faults::{StdStorage, Storage};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Snapshot file name inside a data directory.
@@ -28,11 +32,24 @@ pub fn snapshot_path(dir: &Path) -> PathBuf {
 /// Write a snapshot of `entries` (`(label, canonical_json,
 /// content_hash)`) atomically. Returns the snapshot's byte size.
 pub fn write_snapshot(dir: &Path, entries: &[(String, String, u64)]) -> io::Result<u64> {
+    write_snapshot_with(&StdStorage, dir, entries)
+}
+
+/// [`write_snapshot`] through an explicit [`Storage`]. The sequence is
+/// write `.tmp` → sync the file → rename over the live snapshot → sync
+/// the directory; the final directory fsync is what makes the rename
+/// durable, so a caller that truncates the WAL after this returns can
+/// never pair a truncated log with the old snapshot.
+pub fn write_snapshot_with(
+    storage: &dyn Storage,
+    dir: &Path,
+    entries: &[(String, String, u64)],
+) -> io::Result<u64> {
     let live = snapshot_path(dir);
     let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
     let mut bytes = 0u64;
     {
-        let mut f = File::create(&tmp)?;
+        let mut f = storage.create(&tmp)?;
         let header = encode_file_header(SNAPSHOT_MAGIC);
         f.write_all(&header)?;
         bytes += header.len() as u64;
@@ -44,14 +61,20 @@ pub fn write_snapshot(dir: &Path, entries: &[(String, String, u64)]) -> io::Resu
         f.flush()?;
         f.sync_data()?;
     }
-    std::fs::rename(&tmp, &live)?;
+    storage.rename(&tmp, &live)?;
+    storage.sync_dir(dir)?;
     Ok(bytes)
 }
 
 /// Load the snapshot, if any. Damage is handled like WAL damage: the
 /// intact record prefix is returned and the rest reported as truncated.
 pub fn load_snapshot(dir: &Path) -> io::Result<RecordScan> {
-    scan_file(&snapshot_path(dir), SNAPSHOT_MAGIC)
+    load_snapshot_with(&StdStorage, dir)
+}
+
+/// [`load_snapshot`] through an explicit [`Storage`].
+pub fn load_snapshot_with(storage: &dyn Storage, dir: &Path) -> io::Result<RecordScan> {
+    scan_file_with(storage, &snapshot_path(dir), SNAPSHOT_MAGIC)
 }
 
 #[cfg(test)]

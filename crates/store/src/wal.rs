@@ -57,8 +57,8 @@
 //! prefix so later appends extend a clean log.
 
 use crate::hash::fnv1a;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use numa_faults::{StdStorage, Storage, StorageFile};
+use std::io::{self, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// On-disk format revision for WAL and snapshot files. Version 2 added
@@ -243,19 +243,24 @@ fn decode_record_at(bytes: &[u8], off: usize) -> Option<(WalEntry, usize)> {
     }
     let stored_fnv = u64::from_be_bytes(rest[4..12].try_into().unwrap());
     let body = &rest[RECORD_HEADER_LEN..RECORD_HEADER_LEN + body_len];
+    let entry = decode_body(stored_fnv, body)?;
+    Some((entry, off + RECORD_HEADER_LEN + body_len))
+}
+
+/// Checksum and decode one record body. `None` means corrupt.
+fn decode_body(stored_fnv: u64, body: &[u8]) -> Option<WalEntry> {
     if fnv1a(body) != stored_fnv {
         return None; // bit rot anywhere in the body
     }
     // The checksum held, so the body should parse — but lengths are
     // re-validated anyway: a writer bug must not become a panic here.
     let (&kind, body) = body.split_first()?;
-    let entry = match kind {
-        KIND_PROFILE => decode_profile_body(body)?,
-        KIND_CHUNK => decode_chunk_body(body)?,
-        KIND_SEAL => decode_seal_body(body)?,
-        _ => return None, // record from a future format revision
-    };
-    Some((entry, off + RECORD_HEADER_LEN + body_len))
+    match kind {
+        KIND_PROFILE => decode_profile_body(body),
+        KIND_CHUNK => decode_chunk_body(body),
+        KIND_SEAL => decode_seal_body(body),
+        _ => None, // record from a future format revision
+    }
 }
 
 fn decode_profile_body(body: &[u8]) -> Option<WalEntry> {
@@ -317,15 +322,64 @@ fn decode_seal_body(body: &[u8]) -> Option<WalEntry> {
 /// Scan a record file on disk. A missing file scans as empty (zero
 /// records, zero truncation).
 pub fn scan_file(path: &Path, magic: [u8; 4]) -> io::Result<RecordScan> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-            Ok(scan_bytes(&bytes, magic))
-        }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(RecordScan::default()),
-        Err(e) => Err(e),
+    scan_file_with(&StdStorage, path, magic)
+}
+
+/// [`scan_file`] through an explicit [`Storage`]. The scan streams: it
+/// reads one record header at a time and clamps the header's `body_len`
+/// against the bytes actually remaining in the file *before* allocating
+/// the body buffer — a corrupt length field is a torn tail, never a
+/// multi-GiB allocation.
+pub fn scan_file_with(
+    storage: &dyn Storage,
+    path: &Path,
+    magic: [u8; 4],
+) -> io::Result<RecordScan> {
+    let Some(mut file) = storage.open_read(path)? else {
+        return Ok(RecordScan::default());
+    };
+    let total = file.len()?;
+    let header = encode_file_header(magic);
+    let mut head = [0u8; FILE_HEADER_LEN as usize];
+    if file.read_exact_or_eof(&mut head)? < head.len() || head != header {
+        return Ok(RecordScan {
+            entries: Vec::new(),
+            valid_len: 0,
+            truncated_bytes: total,
+        });
     }
+    let mut entries = Vec::new();
+    let mut off = FILE_HEADER_LEN;
+    loop {
+        let mut rh = [0u8; RECORD_HEADER_LEN];
+        if file.read_exact_or_eof(&mut rh)? < rh.len() {
+            break; // clean end or torn record header
+        }
+        let body_len = u32::from_be_bytes(rh[..4].try_into().unwrap()) as u64;
+        // Clamp against the file's remaining bytes BEFORE allocating:
+        // body_len comes off disk unvalidated, so an oversized value is
+        // treated as a torn/corrupt tail rather than trusted as an
+        // allocation size.
+        let remaining = total.saturating_sub(off + RECORD_HEADER_LEN as u64);
+        if body_len > remaining {
+            break;
+        }
+        let stored_fnv = u64::from_be_bytes(rh[4..12].try_into().unwrap());
+        let mut body = vec![0u8; body_len as usize];
+        if file.read_exact_or_eof(&mut body)? < body.len() {
+            break; // the file shrank under us: torn tail
+        }
+        let Some(entry) = decode_body(stored_fnv, &body) else {
+            break;
+        };
+        entries.push(entry);
+        off += RECORD_HEADER_LEN as u64 + body_len;
+    }
+    Ok(RecordScan {
+        entries,
+        valid_len: off,
+        truncated_bytes: total - off,
+    })
 }
 
 /// Appender over the write-ahead log. Each append is written and
@@ -333,11 +387,14 @@ pub fn scan_file(path: &Path, magic: [u8; 4]) -> io::Result<RecordScan> {
 /// profile survives a SIGKILL of the process; `fsync` additionally
 /// forces it to stable storage (surviving power loss) at a large
 /// per-append cost.
-#[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    file: Box<dyn StorageFile>,
     /// Current file length (header + intact records + appends so far).
     bytes: u64,
+    /// File length at the last successful commit/reset — the intact
+    /// prefix [`WalWriter::rollback_uncommitted`] falls back to when a
+    /// group fails mid-write.
+    committed: u64,
     fsync: bool,
 }
 
@@ -347,24 +404,46 @@ impl WalWriter {
     /// missing or headerless file is (re)initialized with a fresh
     /// header.
     pub fn open_after(path: &Path, valid_len: u64, fsync: bool) -> io::Result<WalWriter> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        Self::open_with(&StdStorage, path, valid_len, fsync)
+    }
+
+    /// [`WalWriter::open_after`] through an explicit [`Storage`].
+    pub fn open_with(
+        storage: &dyn Storage,
+        path: &Path,
+        valid_len: u64,
+        fsync: bool,
+    ) -> io::Result<WalWriter> {
+        let mut file = storage.open_rw(path)?;
         let mut bytes = valid_len;
         if bytes < FILE_HEADER_LEN {
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
             file.write_all(&encode_file_header(WAL_MAGIC))?;
+            file.flush()?;
+            // A fresh log is a *file creation*: without syncing the file
+            // and its parent directory, a power loss could forget the
+            // log ever existed while later appends' acks claimed
+            // durability.
+            file.sync_data()?;
+            if let Some(parent) = path.parent() {
+                storage.sync_dir(parent)?;
+            }
             bytes = FILE_HEADER_LEN;
         } else {
             file.set_len(bytes)?;
             file.seek(SeekFrom::Start(bytes))?;
+            // Persist the truncation of the torn tail before appending
+            // over it.
+            file.sync_data()?;
         }
         file.flush()?;
-        Ok(WalWriter { file, bytes, fsync })
+        Ok(WalWriter {
+            file,
+            bytes,
+            committed: bytes,
+            fsync,
+        })
     }
 
     /// Append one profile record and flush it to the OS (plus `fsync`
@@ -393,6 +472,7 @@ impl WalWriter {
         if self.fsync {
             self.file.sync_data()?;
         }
+        self.committed = self.bytes;
         Ok(())
     }
 
@@ -406,22 +486,50 @@ impl WalWriter {
         self.bytes <= FILE_HEADER_LEN
     }
 
+    /// Bytes staged past the last successful commit.
+    pub fn uncommitted(&self) -> u64 {
+        self.bytes.saturating_sub(self.committed)
+    }
+
+    /// Truncate back to the last successfully committed length. Called
+    /// when a group fails mid-write or mid-commit: whatever partial or
+    /// unflushed record bytes sit past `committed` must not replay as if
+    /// they had been acknowledged. Unconditional — a failed `write_all`
+    /// can leave bytes on disk that `self.bytes` never counted.
+    pub fn rollback_uncommitted(&mut self) -> io::Result<()> {
+        self.file.set_len(self.committed)?;
+        self.file.seek(SeekFrom::Start(self.committed))?;
+        self.bytes = self.committed;
+        Ok(())
+    }
+
     /// Drop every record: truncate back to a bare header. Called after a
-    /// snapshot has absorbed the log's contents.
+    /// snapshot has absorbed the log's contents — and only after the
+    /// snapshot's rename has been made durable (directory fsync), or a
+    /// power loss could pair the truncated log with the *old* snapshot.
     pub fn reset(&mut self) -> io::Result<()> {
         self.file.set_len(FILE_HEADER_LEN)?;
         self.file.seek(SeekFrom::Start(FILE_HEADER_LEN))?;
+        // Bookkeeping tracks the *file*, not the sync outcome: the
+        // truncation above already happened, so `bytes`/`committed`
+        // must drop to the header even if the fsync below fails —
+        // otherwise a later rollback would set_len the file back UP,
+        // zero-filling a region the scanner can never get past, and
+        // appends committed after it would be unrecoverable.
+        self.bytes = FILE_HEADER_LEN;
+        self.committed = FILE_HEADER_LEN;
         if self.fsync {
             self.file.sync_data()?;
         }
-        self.bytes = FILE_HEADER_LEN;
         Ok(())
     }
 
     /// Force the log to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.flush()?;
-        self.file.sync_data()
+        self.file.sync_data()?;
+        self.committed = self.bytes;
+        Ok(())
     }
 }
 

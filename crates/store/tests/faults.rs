@@ -1,0 +1,540 @@
+//! Fault-injection matrix for the durability stack.
+//!
+//! Each case derives a deterministic fault schedule ([`FaultSpec`]), a
+//! workload plan (one-shot ingests, streamed sessions, explicit
+//! compactions), and an optional kill point from one seed, runs the
+//! plan against a store whose storage injects those faults, and then
+//! recovers the data directory with clean storage. The contract under
+//! test is exact:
+//!
+//! * every operation that was **acknowledged `Ok` is recovered** —
+//!   same profile count, same set hash, same aggregate text as an
+//!   in-memory oracle that applied exactly the acked operations;
+//! * every operation that **returned an error is cleanly absent** —
+//!   a failed ingest never resurfaces after a restart;
+//! * no schedule panics, wedges, or makes recovery itself fail.
+//!
+//! Alongside the matrix sit targeted regression tests for the bugs the
+//! harness flushed out: the missing directory fsyncs around the
+//! snapshot rename and WAL creation, the unvalidated `body_len`
+//! allocation in the record scanner, the group-commit error path, and
+//! the WAL-reset bookkeeping desync that lost acknowledged records
+//! after a failed compaction.
+
+use numa_faults::{FaultSpec, FaultyStorage, RecordingStorage, StdStorage, Storage};
+use numa_machine::{Machine, MachinePreset, PlacementPolicy};
+use numa_profiler::{finish_profile, NumaProfile, NumaProfiler, ProfilerConfig};
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_sim::{ExecMode, Program};
+use numa_store::stream::{assemble, split_profile, ChunkPayload};
+use numa_store::wal::{scan_file, wal_path, FILE_HEADER_LEN, WAL_MAGIC};
+use numa_store::{PersistOptions, ProfileStore, StoreConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A small profile; `rounds` varies the content hash.
+fn profile(rounds: usize) -> NumaProfile {
+    let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
+    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8));
+    let profiler = Arc::new(NumaProfiler::new(machine.clone(), config, 4));
+    let mut p = Program::new(machine, 4, ExecMode::Sequential, profiler.clone());
+    let size = 1u64 << 18;
+    let mut base = 0;
+    p.serial("main", |ctx| {
+        base = ctx.alloc("z", size, PlacementPolicy::FirstTouch);
+        ctx.store_range(base, size / 64, 64);
+    });
+    for _ in 0..rounds {
+        p.parallel("compute._omp", |tid, ctx| {
+            let chunk = size / 4;
+            ctx.load_range(base + tid as u64 * chunk, chunk / 64, 64);
+        });
+    }
+    finish_profile(p, profiler)
+}
+
+/// Canonical JSON of four distinct profiles, generated once per test
+/// process so every case ingests bit-identical content and cross-store
+/// hash comparisons are meaningful.
+fn corpus() -> &'static [String; 4] {
+    static CORPUS: OnceLock<[String; 4]> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        [
+            profile(1).to_json(),
+            profile(2).to_json(),
+            profile(3).to_json(),
+            profile(4).to_json(),
+        ]
+    })
+}
+
+/// Fresh scratch dir per call, unique across tests and matrix cases.
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "numa-faults-it-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config() -> StoreConfig {
+    StoreConfig {
+        cache_capacity: 16,
+        ..StoreConfig::default()
+    }
+}
+
+/// SplitMix64 — the same generator [`FaultSpec::seeded`] uses, kept
+/// local so plans stay reproducible from the seed alone.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One step of a seeded workload.
+#[derive(Clone, Copy, Debug)]
+enum PlannedOp {
+    /// One-shot ingest of `corpus()[idx]`.
+    Ingest(usize),
+    /// Stream `corpus()[idx]` as `parts` chunks, then seal.
+    Stream { idx: usize, parts: usize },
+    /// Explicit flush: group commit + snapshot compaction.
+    Flush,
+}
+
+fn plan_ops(rng: &mut u64) -> Vec<PlannedOp> {
+    let n = 4 + (splitmix64(rng) % 5) as usize;
+    (0..n)
+        .map(|_| match splitmix64(rng) % 8 {
+            0..=2 => PlannedOp::Ingest((splitmix64(rng) % 4) as usize),
+            3..=5 => PlannedOp::Stream {
+                idx: (splitmix64(rng) % 4) as usize,
+                parts: 1 + (splitmix64(rng) % 3) as usize,
+            },
+            _ => PlannedOp::Flush,
+        })
+        .collect()
+}
+
+/// Run one seeded schedule end to end and check the recovery contract.
+///
+/// Ops run sequentially and block on their acks, and the WAL size bound
+/// is effectively infinite, so the only compactions are the plan's
+/// explicit flushes — every op's outcome is deterministic and the
+/// oracle (an in-memory store fed exactly the acked operations) is an
+/// exact model. Racing ingest against background threshold compaction
+/// is real concurrency and is exercised separately by the store's
+/// existing concurrent tests.
+fn run_schedule(seed: u64) {
+    let mut rng = seed;
+    let spec = FaultSpec::seeded(seed);
+    let fsync = splitmix64(&mut rng).is_multiple_of(2);
+    let plan = plan_ops(&mut rng);
+    let kill_at = splitmix64(&mut rng)
+        .is_multiple_of(2)
+        .then(|| (splitmix64(&mut rng) as usize) % (plan.len() + 1));
+    let dir = scratch("matrix");
+    let storage = Arc::new(FaultyStorage::new(spec));
+    let opts = PersistOptions {
+        snapshot_wal_bytes: u64::MAX,
+        fsync,
+    };
+    let oracle = ProfileStore::new();
+
+    let opened = ProfileStore::open_durable_config_with(
+        &dir,
+        config(),
+        opts,
+        Arc::clone(&storage) as Arc<dyn Storage>,
+    );
+    // An open that faulted acked nothing; recovery must come up empty.
+    if let Ok(store) = opened {
+        let mut session = 0u64;
+        for (i, op) in plan.iter().enumerate() {
+            if kill_at == Some(i) {
+                storage.kill();
+            }
+            let label = format!("op-{i}");
+            match *op {
+                PlannedOp::Ingest(idx) => {
+                    if store.ingest_bytes(&label, &corpus()[idx]).is_ok() {
+                        oracle.ingest_bytes(&label, &corpus()[idx]).unwrap();
+                    }
+                }
+                PlannedOp::Stream { idx, parts } => {
+                    session += 1;
+                    let p = NumaProfile::from_json(&corpus()[idx]).unwrap();
+                    let chunks: Vec<ChunkPayload> = split_profile(&p, parts);
+                    let staged = chunks.iter().enumerate().all(|(seq, chunk)| {
+                        store
+                            .stage_chunk(session, seq as u64, &chunk.to_json())
+                            .is_ok()
+                    });
+                    if !staged {
+                        // A client whose chunk was refused gives up; the
+                        // sealless chunks already in the WAL must be
+                        // dropped by replay.
+                        store.discard_session(session);
+                        continue;
+                    }
+                    let assembled = assemble(chunks).unwrap();
+                    let json = assembled.to_json();
+                    if store.commit_sealed(session, &label, assembled).is_ok() {
+                        oracle.ingest_bytes(&label, &json).unwrap();
+                    }
+                }
+                PlannedOp::Flush => {
+                    // May fail under faults; a failed compaction must
+                    // lose nothing (asserted by recovery below).
+                    let _ = store.flush();
+                }
+            }
+        }
+        if kill_at == Some(plan.len()) {
+            storage.kill();
+        }
+        drop(store);
+    }
+
+    // Recover with clean storage: exactly the acked set, nothing else.
+    let recovered = ProfileStore::open_durable_config(&dir, config(), PersistOptions::default())
+        .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+    assert_eq!(
+        recovered.len(),
+        oracle.len(),
+        "seed {seed} (spec {spec:?}, plan {plan:?}, kill {kill_at:?}): \
+         recovered {} profile(s), oracle has {}",
+        recovered.len(),
+        oracle.len()
+    );
+    assert_eq!(
+        recovered.set_hash(),
+        oracle.set_hash(),
+        "seed {seed} (spec {spec:?}, plan {plan:?}, kill {kill_at:?}): set hash mismatch"
+    );
+    if !oracle.is_empty() {
+        assert_eq!(
+            recovered.aggregate().unwrap().text(),
+            oracle.aggregate().unwrap().text(),
+            "seed {seed}: aggregate text mismatch"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// The matrix: 256 explicit seeds (split so `cargo test` runs the
+// quarters in parallel) plus 64 proptest-drawn seeds from a disjoint
+// range — ≥300 schedules per run, every one replayable from its seed.
+
+#[test]
+fn fault_matrix_seeds_000_063() {
+    for seed in 0..64 {
+        run_schedule(seed);
+    }
+}
+
+#[test]
+fn fault_matrix_seeds_064_127() {
+    for seed in 64..128 {
+        run_schedule(seed);
+    }
+}
+
+#[test]
+fn fault_matrix_seeds_128_191() {
+    for seed in 128..192 {
+        run_schedule(seed);
+    }
+}
+
+#[test]
+fn fault_matrix_seeds_192_255() {
+    for seed in 192..256 {
+        run_schedule(seed);
+    }
+}
+
+proptest! {
+    #[test]
+    fn fault_matrix_proptest_seeds(seed in 1_000u64..100_000) {
+        run_schedule(seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regression: unvalidated body_len in the record scanner
+// ---------------------------------------------------------------------
+
+/// A record header whose `body_len` claims more bytes than the file
+/// holds must be treated as a torn tail — the scanner clamps against
+/// the remaining file size *before* allocating the body buffer, so a
+/// four-byte corruption can never become a multi-gigabyte allocation.
+#[test]
+fn oversized_body_len_is_torn_tail_not_allocation() {
+    let dir = scratch("bodylen");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = wal_path(&dir);
+
+    // Valid header + one intact record + a bogus header claiming ~4 GiB.
+    let store =
+        ProfileStore::open_durable_config(&dir, config(), PersistOptions::default()).unwrap();
+    store.ingest_bytes("keep", &corpus()[0]).unwrap();
+    drop(store);
+    let intact = std::fs::metadata(&path).unwrap().len();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&(u32::MAX - 0xFF).to_be_bytes()); // body_len
+    bytes.extend_from_slice(&[0u8; 8]); // body_fnv (never checked)
+    bytes.extend_from_slice(b"tiny"); // far fewer bytes than claimed
+    std::fs::write(&path, &bytes).unwrap();
+
+    let scan = scan_file(&path, WAL_MAGIC).unwrap();
+    assert_eq!(scan.entries.len(), 1);
+    assert_eq!(scan.valid_len, intact);
+    assert_eq!(scan.truncated_bytes, 12 + 4);
+
+    // Recovery keeps the intact prefix and stays writable.
+    let store =
+        ProfileStore::open_durable_config(&dir, config(), PersistOptions::default()).unwrap();
+    assert_eq!(store.len(), 1);
+    store.ingest_bytes("after", &corpus()[1]).unwrap();
+    drop(store);
+    let store =
+        ProfileStore::open_durable_config(&dir, config(), PersistOptions::default()).unwrap();
+    assert_eq!(store.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Same corruption with nothing intact before it: the whole file past
+/// the header is damage, and recovery starts empty.
+#[test]
+fn oversized_body_len_on_first_record_recovers_empty() {
+    let dir = scratch("bodylen0");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = wal_path(&dir);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"HPWL\x00\x02\x00\x00");
+    bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+    bytes.extend_from_slice(&[0u8; 8]);
+    std::fs::write(&path, &bytes).unwrap();
+    let scan = scan_file(&path, WAL_MAGIC).unwrap();
+    assert!(scan.entries.is_empty());
+    assert_eq!(scan.valid_len, FILE_HEADER_LEN);
+    let store =
+        ProfileStore::open_durable_config(&dir, config(), PersistOptions::default()).unwrap();
+    assert_eq!(store.len(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Regression: directory fsyncs around snapshot rename and WAL creation
+// ---------------------------------------------------------------------
+
+/// The compaction sequence must be: sync the snapshot tmp file → rename
+/// it over the live snapshot → fsync the data directory → only then
+/// truncate the WAL. Without the directory fsync in that position a
+/// power loss can resurrect the *old* snapshot next to an
+/// already-empty WAL, silently dropping acknowledged records. Creating
+/// a fresh WAL likewise must sync the file and its directory before
+/// any append can be acknowledged.
+#[test]
+fn snapshot_rename_is_dir_synced_before_wal_truncate() {
+    let dir = scratch("order");
+    let rec = Arc::new(RecordingStorage::new(Arc::new(StdStorage)));
+    let store = ProfileStore::open_durable_config_with(
+        &dir,
+        config(),
+        PersistOptions::default(),
+        Arc::clone(&rec) as Arc<dyn Storage>,
+    )
+    .unwrap();
+    store.ingest_bytes("a", &corpus()[0]).unwrap();
+    store.flush().unwrap();
+    drop(store);
+
+    let ops = rec.ops();
+    let pos = |needle: &str| {
+        ops.iter()
+            .position(|op| op.starts_with(needle))
+            .unwrap_or_else(|| panic!("no {needle:?} in {ops:?}"))
+    };
+    // Fresh-WAL creation: file write → file sync → directory sync.
+    let wal_header = pos("write(wal.log, 8)");
+    let wal_sync = pos("sync_data(wal.log)");
+    let first_dir_sync = pos("sync_dir");
+    assert!(
+        wal_header < wal_sync && wal_sync < first_dir_sync,
+        "{ops:?}"
+    );
+    // Compaction: tmp sync → rename → dir sync → WAL truncate.
+    let tmp_sync = pos("sync_data(snapshot.bin.tmp)");
+    let rename = pos("rename(snapshot.bin.tmp -> snapshot.bin)");
+    let dir_sync = ops
+        .iter()
+        .enumerate()
+        .position(|(i, op)| i > rename && op == "sync_dir")
+        .unwrap_or_else(|| panic!("no sync_dir after rename in {ops:?}"));
+    let truncate = pos(&format!("set_len(wal.log, {FILE_HEADER_LEN})"));
+    assert!(
+        tmp_sync < rename && rename < dir_sync && dir_sync < truncate,
+        "{ops:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Regression: group-commit error path
+// ---------------------------------------------------------------------
+
+/// A WAL append that fails mid-group must fail that ingest with a typed
+/// error and roll the log back to the committed prefix — never
+/// ack-then-drop. Once the (one-shot) fault has passed, a retry of the
+/// same ingest succeeds and everything recovers.
+#[test]
+fn failed_append_is_typed_rolled_back_and_retryable() {
+    let dir = scratch("groupfail");
+    // Write #1 is the WAL header at open; write #2 — the first record —
+    // tears after 5 bytes, exactly once.
+    let storage = Arc::new(FaultyStorage::new(FaultSpec {
+        short_write: Some((2, 5)),
+        ..FaultSpec::default()
+    }));
+    let store = ProfileStore::open_durable_config_with(
+        &dir,
+        config(),
+        PersistOptions::default(),
+        Arc::clone(&storage) as Arc<dyn Storage>,
+    )
+    .unwrap();
+
+    let err = store.ingest_bytes("torn", &corpus()[0]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("not durable"), "unexpected error: {msg}");
+    assert_eq!(store.len(), 0, "failed ingest must not stay visible");
+    assert!(store.persist_stats().io_errors >= 1);
+    // The torn prefix was truncated away: the log is a bare header.
+    assert_eq!(
+        std::fs::metadata(wal_path(&dir)).unwrap().len(),
+        FILE_HEADER_LEN
+    );
+
+    // The schedule only tears write #2: the retry goes through.
+    store.ingest_bytes("torn", &corpus()[0]).unwrap();
+    assert_eq!(store.len(), 1);
+    drop(store);
+    let scan = scan_file(&wal_path(&dir), WAL_MAGIC).unwrap();
+    assert_eq!(scan.entries.len(), 1);
+    assert_eq!(scan.truncated_bytes, 0);
+    let store =
+        ProfileStore::open_durable_config(&dir, config(), PersistOptions::default()).unwrap();
+    assert_eq!(store.len(), 1);
+    assert_eq!(&*store.resolve("torn").unwrap().label, "torn");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Disk-full: every ingest past the budget fails with the typed
+/// persistence error, already-acked profiles stay intact, and the store
+/// keeps answering queries.
+#[test]
+fn enospc_fails_ingest_keeps_serving_and_acked_data() {
+    let dir = scratch("enospc");
+    // Budget: header + first record + a sliver, so ingest #1 commits
+    // and ingest #2 hits ENOSPC.
+    let first = numa_store::wal::encode_record(
+        "full-0",
+        &corpus()[0],
+        numa_store::ProfileId::of(&NumaProfile::from_json(&corpus()[0]).unwrap())
+            .0
+             .0,
+    );
+    let storage = Arc::new(FaultyStorage::new(FaultSpec {
+        enospc_after: Some(FILE_HEADER_LEN + first.len() as u64 + 16),
+        ..FaultSpec::default()
+    }));
+    let store = ProfileStore::open_durable_config_with(
+        &dir,
+        config(),
+        PersistOptions::default(),
+        Arc::clone(&storage) as Arc<dyn Storage>,
+    )
+    .unwrap();
+    store.ingest_bytes("full-0", &corpus()[0]).unwrap();
+    let err = store.ingest_bytes("full-1", &corpus()[1]).unwrap_err();
+    assert!(err.to_string().contains("not durable"), "{err}");
+    // Still serving: the acked profile resolves and aggregates.
+    assert_eq!(store.len(), 1);
+    assert!(store.resolve("full-0").is_ok());
+    assert!(!store.aggregate().unwrap().text().is_empty());
+    drop(store);
+    let store =
+        ProfileStore::open_durable_config(&dir, config(), PersistOptions::default()).unwrap();
+    assert_eq!(store.len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Regression: failed compaction — poisoned sessions and WAL bookkeeping
+// ---------------------------------------------------------------------
+
+/// A compaction that resets the WAL but cannot re-stage an open
+/// session's chunks poisons that session: its later seal is refused and
+/// the store falls back to persisting the assembled profile as an
+/// ordinary record. Appends acknowledged *after* the failed compaction
+/// must also survive — the WAL writer's bookkeeping has to follow the
+/// truncated file, not the failed fsync.
+#[test]
+fn failed_compaction_poisons_session_and_keeps_later_appends() {
+    let dir = scratch("poison");
+    let p = NumaProfile::from_json(&corpus()[0]).unwrap();
+    let chunks: Vec<ChunkPayload> = split_profile(&p, 2);
+    // With fsync on, the sync sequence is: WAL create file sync + dir
+    // sync (2), one group commit per staged chunk (chunks.len()), then
+    // the flush's compaction: snapshot tmp sync + dir sync (2), WAL
+    // reset sync. Failing that last one makes the compaction fail
+    // *after* the WAL was truncated — the staged chunks are gone.
+    let storage = Arc::new(FaultyStorage::new(FaultSpec {
+        fail_sync: Some(2 + chunks.len() as u64 + 2 + 1),
+        ..FaultSpec::default()
+    }));
+    let store = ProfileStore::open_durable_config_with(
+        &dir,
+        config(),
+        PersistOptions {
+            snapshot_wal_bytes: u64::MAX,
+            fsync: true,
+        },
+        Arc::clone(&storage) as Arc<dyn Storage>,
+    )
+    .unwrap();
+
+    for (seq, chunk) in chunks.iter().enumerate() {
+        store.stage_chunk(7, seq as u64, &chunk.to_json()).unwrap();
+    }
+    assert!(store.flush().is_err(), "sync 6 must fail this compaction");
+
+    // The seal is refused (chunks lost), so commit_sealed falls back to
+    // an ordinary profile record — and still acknowledges.
+    let (_, added) = store
+        .commit_sealed(7, "streamed", assemble(chunks).unwrap())
+        .unwrap();
+    assert!(added);
+    // An ordinary ingest after the failed compaction must be durable.
+    store.ingest_bytes("later", &corpus()[1]).unwrap();
+    drop(store);
+
+    let store =
+        ProfileStore::open_durable_config(&dir, config(), PersistOptions::default()).unwrap();
+    assert_eq!(store.len(), 2, "fallback + later ingest both recovered");
+    assert_eq!(&*store.resolve("streamed").unwrap().label, "streamed");
+    assert_eq!(&*store.resolve("later").unwrap().label, "later");
+    // It recovered as an ordinary record, not a sealed session.
+    assert_eq!(store.persist_stats().sessions_recovered, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

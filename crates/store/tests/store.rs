@@ -34,8 +34,8 @@ fn profile(rounds: usize) -> NumaProfile {
 fn ingest_dedups_by_content() {
     let store = ProfileStore::new();
     let p = profile(2);
-    let (id1, added1) = store.ingest_profile("run-a", p.clone());
-    let (id2, added2) = store.ingest_profile("run-a-again", p);
+    let (id1, added1) = store.ingest_profile("run-a", p.clone()).unwrap();
+    let (id2, added2) = store.ingest_profile("run-a-again", p).unwrap();
     assert!(added1);
     assert!(!added2, "identical content must dedup");
     assert_eq!(id1, id2);
@@ -80,8 +80,8 @@ fn aggregate_pools_metrics_across_runs() {
         .flat_map(|p| p.threads.iter())
         .map(|t| t.totals.m_remote)
         .sum();
-    store.ingest_profile("r1", p1);
-    store.ingest_profile("r2", p2);
+    store.ingest_profile("r1", p1).unwrap();
+    store.ingest_profile("r2", p2).unwrap();
     let artifact = store.aggregate().unwrap();
     let agg = artifact.as_aggregate().unwrap();
     assert_eq!(agg.runs, 2);
@@ -101,7 +101,7 @@ fn aggregate_pools_metrics_across_runs() {
 #[test]
 fn aggregate_render_lists_variables() {
     let store = ProfileStore::new();
-    store.ingest_profile("r1", profile(2));
+    store.ingest_profile("r1", profile(2)).unwrap();
     let text = store.aggregate().unwrap().text();
     assert!(text.contains("cross-run aggregate"));
     assert!(text.contains('z'));
@@ -110,7 +110,7 @@ fn aggregate_render_lists_variables() {
 #[test]
 fn queries_memoize_and_count() {
     let store = ProfileStore::new();
-    let (id, _) = store.ingest_profile("r1", profile(2));
+    let (id, _) = store.ingest_profile("r1", profile(2)).unwrap();
 
     let cold = store.query(Query::TextReport(id)).unwrap();
     let s = store.cache_stats();
@@ -128,10 +128,10 @@ fn queries_memoize_and_count() {
 #[test]
 fn ingestion_invalidates_pooled_queries() {
     let store = ProfileStore::new();
-    store.ingest_profile("r1", profile(1));
+    store.ingest_profile("r1", profile(1)).unwrap();
     let before = store.aggregate().unwrap();
     assert_eq!(before.as_aggregate().unwrap().runs, 1);
-    store.ingest_profile("r2", profile(2));
+    store.ingest_profile("r2", profile(2)).unwrap();
     // New set hash → new scope → miss, not a stale hit.
     let after = store.aggregate().unwrap();
     assert_eq!(after.as_aggregate().unwrap().runs, 2);
@@ -144,7 +144,7 @@ fn ingestion_invalidates_pooled_queries() {
 fn unknown_references_error_cleanly() {
     let store = ProfileStore::new();
     assert_eq!(store.aggregate().unwrap_err(), StoreError::EmptyStore);
-    let (id, _) = store.ingest_profile("r1", profile(1));
+    let (id, _) = store.ingest_profile("r1", profile(1)).unwrap();
     let bogus = numa_store::ProfileId(id.0 ^ 1);
     assert_eq!(
         store.query(Query::TextReport(bogus)).unwrap_err(),
@@ -163,8 +163,8 @@ fn unknown_references_error_cleanly() {
 #[test]
 fn address_view_and_diff_render() {
     let store = ProfileStore::new();
-    let (a, _) = store.ingest_profile("r1", profile(1));
-    let (b, _) = store.ingest_profile("r2", profile(3));
+    let (a, _) = store.ingest_profile("r1", profile(1)).unwrap();
+    let (b, _) = store.ingest_profile("r2", profile(3)).unwrap();
     let view = store
         .query(Query::AddressView {
             profile: a,
@@ -207,7 +207,7 @@ fn ingest_dir_loads_json_files() {
 #[test]
 fn resolve_accepts_id_prefix_and_label() {
     let store = ProfileStore::new();
-    let (id, _) = store.ingest_profile("baseline", profile(1));
+    let (id, _) = store.ingest_profile("baseline", profile(1)).unwrap();
     assert_eq!(store.resolve("baseline").unwrap().id, id);
     assert_eq!(store.resolve(&id.to_string()[..8]).unwrap().id, id);
     assert!(matches!(store.resolve("nope"), Err(StoreError::NoMatch(n)) if n == "nope"));
@@ -217,8 +217,8 @@ fn resolve_accepts_id_prefix_and_label() {
 fn resolve_reports_ambiguity_with_candidates() {
     let store = ProfileStore::new();
     // Same label on two distinct profiles: resolving by label is ambiguous.
-    let (a, _) = store.ingest_profile("run", profile(1));
-    let (b, _) = store.ingest_profile("run", profile(2));
+    let (a, _) = store.ingest_profile("run", profile(1)).unwrap();
+    let (b, _) = store.ingest_profile("run", profile(2)).unwrap();
     match store.resolve("run") {
         Err(StoreError::Ambiguous { needle, candidates }) => {
             assert_eq!(needle, "run");

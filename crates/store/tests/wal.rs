@@ -187,17 +187,19 @@ fn sealed_sessions_replay_and_unsealed_are_dropped() {
     {
         let store = open(&dir, PersistOptions::default());
         for (seq, payload) in a_chunks.iter().enumerate() {
-            store.stage_chunk(1, seq as u64, payload);
+            store.stage_chunk(1, seq as u64, payload).unwrap();
         }
         // Session 2 stages two chunks but never seals: a dead client.
         for (seq, payload) in b_chunks.iter().enumerate().take(2) {
-            store.stage_chunk(2, seq as u64, payload);
+            store.stage_chunk(2, seq as u64, payload).unwrap();
         }
         let parts: Vec<ChunkPayload> = a_chunks
             .iter()
             .map(|p| ChunkPayload::from_json(p).unwrap())
             .collect();
-        let (_, added) = store.commit_sealed(1, "streamed", assemble(parts).unwrap());
+        let (_, added) = store
+            .commit_sealed(1, "streamed", assemble(parts).unwrap())
+            .unwrap();
         assert!(added);
         // The sealed stream is byte-identical to one-shot ingest: same
         // set hash, and re-ingesting the original JSON dedups.
@@ -229,7 +231,7 @@ fn compaction_restages_open_session_chunks() {
     {
         let store = open(&dir, PersistOptions::default());
         for (seq, payload) in chunks.iter().enumerate() {
-            store.stage_chunk(9, seq as u64, payload);
+            store.stage_chunk(9, seq as u64, payload).unwrap();
         }
         // A compaction resets the WAL underneath the open session...
         store.ingest_bytes("oneshot", &corpus()[1]).unwrap();
@@ -240,7 +242,9 @@ fn compaction_restages_open_session_chunks() {
             .iter()
             .map(|p| ChunkPayload::from_json(p).unwrap())
             .collect();
-        let (_, added) = store.commit_sealed(9, "streamed", assemble(parts).unwrap());
+        let (_, added) = store
+            .commit_sealed(9, "streamed", assemble(parts).unwrap())
+            .unwrap();
         assert!(added);
     }
     let store = open(&dir, PersistOptions::default());
