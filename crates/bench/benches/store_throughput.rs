@@ -1,14 +1,15 @@
 //! Store throughput: batched ingestion scaling across rayon thread
-//! counts, and cold vs. warm (memoized) analysis queries over a
-//! 32-profile corpus.
+//! counts, cold vs. warm (memoized) analysis queries over a 32-profile
+//! corpus, and binary-record vs. JSON-era WAL replay.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use numa_machine::{Machine, MachinePreset};
 use numa_profiler::{NumaProfile, ProfilerConfig};
 use numa_sampling::{MechanismConfig, MechanismKind};
 use numa_sim::ExecMode;
-use numa_store::{PersistOptions, ProfileStore, Query, StoreConfig};
+use numa_store::{fnv1a, wal, PersistOptions, ProfileStore, Query, StoreConfig};
 use numa_workloads::{run_profiled, Blackscholes, BlackscholesVariant};
+use std::path::Path;
 use std::time::Instant;
 
 /// Headline-ratio floor, overridable for starved CI containers where a
@@ -20,6 +21,15 @@ fn min_speedup() -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(10.0)
+}
+
+/// Floor on binary-record replay over JSON-era replay — the same knob
+/// the codec bench enforces (`NUMA_CODEC_MIN_SPEEDUP`, default ≥2×).
+fn codec_min_speedup() -> f64 {
+    std::env::var("NUMA_CODEC_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0)
 }
 
 const CORPUS: usize = 32;
@@ -127,8 +137,117 @@ fn bench_durable_ingest(c: &mut Criterion) {
             store.len()
         })
     });
+    // The same corpus as a JSON-era WAL (persist v1/v2 records), hand-
+    // written because the live store now appends binary records: the
+    // row the codec retired. Replay still accepts it — old data dirs
+    // migrate forward at the next compaction, not at startup.
+    let scratch_json =
+        std::env::temp_dir().join(format!("numa-bench-wal-json-{}", std::process::id()));
+    {
+        std::fs::remove_dir_all(&scratch_json).ok();
+        std::fs::create_dir_all(&scratch_json).expect("scratch dir");
+        let mut bytes = wal::encode_file_header(wal::WAL_MAGIC).to_vec();
+        for (label, json) in &inputs {
+            bytes.extend_from_slice(&wal::encode_record(label, json, fnv1a(json.as_bytes())));
+        }
+        std::fs::write(wal::wal_path(&scratch_json), bytes).expect("seed json wal");
+    }
+    group.bench_function("replay_wal_json", |b| {
+        b.iter(|| {
+            let store = ProfileStore::open_durable(
+                &scratch_json,
+                ProfileStore::DEFAULT_CACHE_CAPACITY,
+                PersistOptions::default(),
+            )
+            .expect("replay");
+            assert_eq!(store.persist_stats().wal_records_replayed, CORPUS as u64);
+            store.len()
+        })
+    });
     group.finish();
+
+    // Headline: binary-record replay over JSON-era replay, measured
+    // directly — the recovery-time win the binary WAL format buys.
+    let timed = |dir: &Path| {
+        let t = Instant::now();
+        for _ in 0..5 {
+            let store = ProfileStore::open_durable(
+                dir,
+                ProfileStore::DEFAULT_CACHE_CAPACITY,
+                PersistOptions::default(),
+            )
+            .expect("replay");
+            assert_eq!(store.persist_stats().wal_records_replayed, CORPUS as u64);
+            black_box(store.len());
+        }
+        t.elapsed().as_secs_f64() / 5.0
+    };
+    let json = timed(&scratch_json);
+    let binary = timed(&scratch);
+    let speedup = json / binary.max(1e-9);
+    println!(
+        "store_ingest_durable/summary: WAL replay JSON {:.3} ms, binary {:.3} ms — \
+         ×{:.1} speedup over {} records",
+        json * 1e3,
+        binary * 1e3,
+        speedup,
+        CORPUS
+    );
+    let floor = codec_min_speedup();
+    assert!(
+        speedup >= floor,
+        "binary WAL replay must beat JSON-era replay by ≥{floor}× (got {speedup:.1}×; \
+         override with NUMA_CODEC_MIN_SPEEDUP on starved CI hosts)"
+    );
     std::fs::remove_dir_all(&scratch).ok();
+    std::fs::remove_dir_all(&scratch_json).ok();
+}
+
+/// Binary codec vs. canonical JSON over the same 32-run corpus: the
+/// per-record serialization costs behind the durable-ingest and
+/// replay rows above. The deep-dive (zero-copy column views, thread
+/// batches, the enforced decode floor) lives in the `codec_roundtrip`
+/// bench.
+fn bench_codec(c: &mut Criterion) {
+    let profiles: Vec<NumaProfile> = corpus()
+        .into_iter()
+        .map(|(_, json)| NumaProfile::from_json(&json).expect("corpus parses"))
+        .collect();
+    let jsons: Vec<String> = profiles.iter().map(|p| p.to_json()).collect();
+    let bins: Vec<Vec<u8>> = profiles.iter().map(numa_codec::encode_profile).collect();
+
+    let mut group = c.benchmark_group("store_codec");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CORPUS as u64));
+    group.bench_function("encode_json", |b| {
+        b.iter(|| {
+            for p in &profiles {
+                black_box(p.to_json());
+            }
+        })
+    });
+    group.bench_function("encode_binary", |b| {
+        b.iter(|| {
+            for p in &profiles {
+                black_box(numa_codec::encode_profile(p));
+            }
+        })
+    });
+    group.bench_function("decode_json", |b| {
+        b.iter(|| {
+            for j in &jsons {
+                black_box(NumaProfile::from_json(j).expect("parses"));
+            }
+        })
+    });
+    group.bench_function("decode_binary", |b| {
+        b.iter(|| {
+            for bytes in &bins {
+                black_box(numa_codec::decode_profile(bytes).expect("decodes"));
+            }
+        })
+    });
+    group.finish();
 }
 
 fn bench_queries(c: &mut Criterion) {
@@ -288,6 +407,7 @@ criterion_group!(
     benches,
     bench_ingest,
     bench_durable_ingest,
+    bench_codec,
     bench_queries,
     bench_contention
 );

@@ -108,13 +108,24 @@ fn main() {
                 run(client.stream_profile(label, &profile, per))
             } else {
                 // Paced streaming (demos, and tests that need a window
-                // to kill the client mid-session).
+                // to kill the client mid-session). Chunk encoding is
+                // negotiated exactly like the un-paced path: binary
+                // codec when the daemon advertises it, JSON otherwise.
+                let binary = run(client.binary_codec());
                 let info = run(client.open_session(label));
                 for (seq, chunk) in split_profile(&profile, per).iter().enumerate() {
                     if seq > 0 {
                         std::thread::sleep(Duration::from_millis(delay_ms));
                     }
-                    run(client.append_chunk(info.session, seq as u64, &chunk.to_json()));
+                    if binary {
+                        run(client.append_chunk_binary(
+                            info.session,
+                            seq as u64,
+                            chunk.to_binary(),
+                        ));
+                    } else {
+                        run(client.append_chunk(info.session, seq as u64, &chunk.to_json()));
+                    }
                 }
                 run(client.seal_session(info.session))
             };
@@ -128,7 +139,13 @@ fn main() {
             let json = std::fs::read_to_string(file)
                 .unwrap_or_else(|e| die(USAGE, &format!("cannot read {file}: {e}")));
             let label = args.get("label").unwrap_or(file);
-            let (id, added) = run(client.ingest(label, &json));
+            // Parse locally so the profile can travel as codec bytes
+            // when the daemon advertises the binary capability (JSON
+            // fallback otherwise) — the stored identity is the same
+            // either way.
+            let profile = NumaProfile::from_json(&json)
+                .unwrap_or_else(|e| die(USAGE, &format!("cannot parse {file}: {e}")));
+            let (id, added) = run(client.ingest_profile(label, &profile));
             format!(
                 "{id}  {label} ({})\n",
                 if added { "added" } else { "deduplicated" }

@@ -59,6 +59,33 @@ impl Cct {
         }
     }
 
+    /// Rebuild a tree from its serialized parts: the node vector (root
+    /// first, parents preceding children) plus the domain count. Used by
+    /// decoders that bypass serde (the binary profile codec). The lookup
+    /// index is rebuilt eagerly, so the tree is immediately resolvable.
+    /// Returns `None` when the parts cannot form a valid tree: no root,
+    /// a non-`Root` first node, or a parent reference at or past its
+    /// node's own id (the append-only invariant every consumer relies
+    /// on).
+    pub fn from_parts(nodes: Vec<CctNode>, domains: usize) -> Option<Self> {
+        match nodes.first() {
+            Some(root) if root.key == NodeKey::Root && root.parent == ROOT => {}
+            _ => return None,
+        }
+        for (i, n) in nodes.iter().enumerate().skip(1) {
+            if n.parent as usize >= i {
+                return None;
+            }
+        }
+        let mut cct = Cct {
+            nodes,
+            domains,
+            index: HashMap::new(),
+        };
+        cct.rebuild_index();
+        Some(cct)
+    }
+
     pub fn len(&self) -> usize {
         self.nodes.len()
     }

@@ -40,6 +40,20 @@ impl Trace {
         }
     }
 
+    /// Rebuild a trace from its serialized parts. Used by decoders that
+    /// bypass serde (the binary profile codec); unlike [`Trace::new`] a
+    /// zero interval is accepted, because it is exactly what a default
+    /// (never-enabled) trace round-trips through.
+    pub fn from_parts(interval: u64, points: Vec<TracePoint>) -> Self {
+        Trace { interval, points }
+    }
+
+    /// The recording interval in cycles (0 when tracing was never
+    /// enabled).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
     /// Offer the current cumulative counters; records a point if the
     /// interval elapsed (or it is the first point).
     pub fn offer(&mut self, clock: u64, samples: u64, m_remote: u64, latency_remote: u64) {

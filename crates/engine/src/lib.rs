@@ -31,7 +31,7 @@ pub mod intern;
 pub mod oracle;
 
 pub use engine::{par_fold, Engine, ThreadRange};
-pub use index::ProfileIndex;
+pub use index::{ProfileIndex, ThreadScalars};
 pub use intern::{Symbol, SymbolTable};
 
 // Re-exported so downstream crates can name profile types through the

@@ -346,7 +346,42 @@ impl SessionManager {
     /// WAL before this returns. Returns the daemon-wide buffered bytes
     /// after the append.
     pub fn append(&self, session: u64, seq: u64, chunk_json: &str) -> Result<usize, SessionError> {
-        let len = chunk_json.len();
+        self.append_common(
+            session,
+            seq,
+            chunk_json.len(),
+            || ChunkPayload::from_json(chunk_json).map_err(|e| e.to_string()),
+            |store| store.stage_chunk(session, seq, chunk_json),
+        )
+    }
+
+    /// [`SessionManager::append`] for a binary-codec chunk (see
+    /// [`ChunkPayload::to_binary`]). Identical semantics — prechecks,
+    /// lease renewal, durable staging, rollback — over the binary wire
+    /// format; a session may freely mix JSON and binary chunks.
+    pub fn append_binary(
+        &self,
+        session: u64,
+        seq: u64,
+        bytes: &[u8],
+    ) -> Result<usize, SessionError> {
+        self.append_common(
+            session,
+            seq,
+            bytes.len(),
+            || ChunkPayload::from_binary(bytes).map_err(|e| e.to_string()),
+            |store| store.stage_chunk_binary(session, seq, bytes),
+        )
+    }
+
+    fn append_common(
+        &self,
+        session: u64,
+        seq: u64,
+        len: usize,
+        parse: impl FnOnce() -> Result<ChunkPayload, String>,
+        stage: impl FnOnce(&ProfileStore) -> Result<(), numa_store::StoreError>,
+    ) -> Result<usize, SessionError> {
         // Typed rejections first, under a brief lock, so oversized or
         // out-of-order chunks never pay for a parse.
         let precheck = {
@@ -385,13 +420,12 @@ impl SessionManager {
             }
             return Err(e);
         }
-        // Parse outside the lock: chunk JSON can be megabytes.
-        let payload =
-            ChunkPayload::from_json(chunk_json).map_err(|e| SessionError::ChunkParse {
-                session,
-                seq,
-                message: e.to_string(),
-            })?;
+        // Parse outside the lock: a chunk can be megabytes.
+        let payload = parse().map_err(|message| SessionError::ChunkParse {
+            session,
+            seq,
+            message,
+        })?;
         let open_bytes = {
             let mut inner = self.inner.lock();
             // Re-validate: the session can be reaped (or a duplicate
@@ -418,7 +452,7 @@ impl SessionManager {
         // itself from the store's retained map; roll the in-memory push
         // back in step so the session still expects this sequence
         // number and the client can retry the same chunk.
-        if let Err(e) = self.store.stage_chunk(session, seq, chunk_json) {
+        if let Err(e) = stage(&self.store) {
             let mut inner = self.inner.lock();
             if let Some(s) = inner.sessions.get_mut(&session) {
                 if s.next_seq == seq + 1 {

@@ -2,7 +2,7 @@
 //! request/response exchange per call, typed errors throughout.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame_flags, ProfileEntry, RecvError,
+    caps, decode_response, encode_request, read_frame, write_frame_flags, ProfileEntry, RecvError,
     ReportFormat, Request, Response, ServerStatsReport, WireError, DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
 };
@@ -145,6 +145,22 @@ impl Client {
         self.server_caps
     }
 
+    /// Capability bits the daemon supports, probing with a
+    /// [`Client::ping`] on the first call (cached for the connection's
+    /// life afterwards — every response frame refreshes it).
+    pub fn negotiated_caps(&mut self) -> Result<u16, ClientError> {
+        match self.server_caps {
+            Some(c) => Ok(c),
+            None => self.ping(),
+        }
+    }
+
+    /// Whether the daemon speaks the binary profile codec
+    /// ([`caps::BINARY_CODEC`]). Probes with a ping on first use.
+    pub fn binary_codec(&mut self) -> Result<bool, ClientError> {
+        Ok(self.negotiated_caps()? & caps::BINARY_CODEC != 0)
+    }
+
     /// Override the local frame cap (must match the daemon's to ingest
     /// very large profiles).
     pub fn set_max_frame(&mut self, max: usize) {
@@ -205,6 +221,41 @@ impl Client {
         match self.call(&req)? {
             Response::Ingested { id, added } => Ok((id, added)),
             other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    /// Ingest already-encoded `numa-codec` profile bytes. Requires a
+    /// daemon advertising [`caps::BINARY_CODEC`]; older daemons answer
+    /// with a typed `Unsupported` error. Returns `(id, newly_added)`.
+    pub fn ingest_binary(
+        &mut self,
+        label: &str,
+        bytes: Vec<u8>,
+    ) -> Result<(String, bool), ClientError> {
+        let req = Request::IngestBinary {
+            label: label.to_string(),
+            bytes,
+        };
+        match self.call(&req)? {
+            Response::Ingested { id, added } => Ok((id, added)),
+            other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    /// Ingest an in-memory profile, negotiating the encoding: the
+    /// binary codec when the daemon advertises [`caps::BINARY_CODEC`]
+    /// (probing with a ping if this is the connection's first
+    /// exchange), canonical JSON otherwise. Either way the stored
+    /// profile — content id, dedup, queries — is identical.
+    pub fn ingest_profile(
+        &mut self,
+        label: &str,
+        profile: &NumaProfile,
+    ) -> Result<(String, bool), ClientError> {
+        if self.binary_codec()? {
+            self.ingest_binary(label, numa_codec::encode_profile(profile))
+        } else {
+            self.ingest(label, &profile.to_json())
         }
     }
 
@@ -334,6 +385,25 @@ impl Client {
         }
     }
 
+    /// [`Client::append_chunk`] with a binary-codec chunk payload
+    /// (requires [`caps::BINARY_CODEC`] on top of streaming).
+    pub fn append_chunk_binary(
+        &mut self,
+        session: u64,
+        seq: u64,
+        bytes: Vec<u8>,
+    ) -> Result<u64, ClientError> {
+        let req = Request::AppendChunkBinary {
+            session,
+            seq,
+            bytes,
+        };
+        match self.call(&req)? {
+            Response::ChunkAppended { open_bytes, .. } => Ok(open_bytes),
+            other => Err(unexpected("ChunkAppended", &other)),
+        }
+    }
+
     /// Seal a session. Returns `(id, newly_added, chunks)`.
     pub fn seal_session(&mut self, session: u64) -> Result<(String, bool, u64), ClientError> {
         match self.call(&Request::SealSession { session })? {
@@ -354,15 +424,22 @@ impl Client {
     /// chunks of `threads_per_chunk` threads, append in sequence, seal.
     /// Returns `(id, newly_added, chunks)` — identical to what one-shot
     /// [`Client::ingest`] of the same profile would have stored.
+    /// Chunk encoding is negotiated per connection: binary codec when
+    /// the daemon advertises [`caps::BINARY_CODEC`], JSON otherwise.
     pub fn stream_profile(
         &mut self,
         label: &str,
         profile: &NumaProfile,
         threads_per_chunk: usize,
     ) -> Result<(String, bool, u64), ClientError> {
+        let binary = self.binary_codec()?;
         let info = self.open_session(label)?;
         for (seq, chunk) in split_profile(profile, threads_per_chunk).iter().enumerate() {
-            self.append_chunk(info.session, seq as u64, &chunk.to_json())?;
+            if binary {
+                self.append_chunk_binary(info.session, seq as u64, chunk.to_binary())?;
+            } else {
+                self.append_chunk(info.session, seq as u64, &chunk.to_json())?;
+            }
         }
         self.seal_session(info.session)
     }

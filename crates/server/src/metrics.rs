@@ -16,9 +16,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct OpSlot(usize);
 
 impl OpSlot {
-    pub const NAMES: [&'static str; 19] = [
+    pub const NAMES: [&'static str; 21] = [
         "ping",
         "ingest",
+        "ingest-binary",
         "list",
         "resolve",
         "aggregate",
@@ -33,6 +34,7 @@ impl OpSlot {
         "shutdown",
         "open-session",
         "append-chunk",
+        "append-chunk-binary",
         "seal-session",
         "abort-session",
         "unknown",

@@ -61,15 +61,25 @@ pub mod caps {
     /// `SealSession` / `AbortSession`.
     pub const STREAMING: u16 = 1 << 0;
 
+    /// Binary columnar profile payloads (`IngestBinary` /
+    /// `AppendChunkBinary`): request payloads framed as numa-codec
+    /// containers instead of JSON. A client that negotiated this via
+    /// `ping` sends codec bytes; one that didn't falls back to JSON and
+    /// the daemon serves it unchanged.
+    pub const BINARY_CODEC: u16 = 1 << 1;
+
     /// Every capability this build implements; response frames carry
     /// this set.
-    pub const SUPPORTED: u16 = STREAMING;
+    pub const SUPPORTED: u16 = STREAMING | BINARY_CODEC;
 
     /// Render a capability set for display (`ping` output, errors).
     pub fn render(flags: u16) -> String {
         let mut names = Vec::new();
         if flags & STREAMING != 0 {
             names.push("streaming");
+        }
+        if flags & BINARY_CODEC != 0 {
+            names.push("binary-codec");
         }
         let unknown = flags & !SUPPORTED;
         if unknown != 0 {
@@ -408,6 +418,18 @@ pub enum Request {
     SealSession { session: u64 },
     /// Abort a session, discarding everything buffered for it.
     AbortSession { session: u64 },
+    /// Ingest one binary-codec profile container (requires
+    /// [`caps::BINARY_CODEC`]). Travels as a [`BINARY_REQUEST_MAGIC`]
+    /// envelope, not JSON.
+    IngestBinary { label: String, bytes: Vec<u8> },
+    /// Append a binary-codec chunk to an open session (requires
+    /// [`caps::STREAMING`] | [`caps::BINARY_CODEC`]). Travels as a
+    /// [`BINARY_REQUEST_MAGIC`] envelope, not JSON.
+    AppendChunkBinary {
+        session: u64,
+        seq: u64,
+        bytes: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -432,6 +454,8 @@ impl Request {
             Request::AppendChunk { .. } => "append-chunk",
             Request::SealSession { .. } => "seal-session",
             Request::AbortSession { .. } => "abort-session",
+            Request::IngestBinary { .. } => "ingest-binary",
+            Request::AppendChunkBinary { .. } => "append-chunk-binary",
         }
     }
 
@@ -444,6 +468,8 @@ impl Request {
             | Request::AppendChunk { .. }
             | Request::SealSession { .. }
             | Request::AbortSession { .. } => caps::STREAMING,
+            Request::IngestBinary { .. } => caps::BINARY_CODEC,
+            Request::AppendChunkBinary { .. } => caps::STREAMING | caps::BINARY_CODEC,
             _ => 0,
         }
     }
@@ -869,12 +895,105 @@ pub enum Response {
 }
 
 // ---------------------------------------------------------------------------
-// JSON payload helpers
+// Payload helpers (JSON requests + the binary request envelope)
 // ---------------------------------------------------------------------------
 
-/// Decode a frame payload into a request. Distinguishes "not UTF-8"
-/// from "not a request" in the error detail.
+/// Magic opening a binary request payload. JSON payloads cannot start
+/// with these bytes (`N` opens no JSON value), so the two request
+/// encodings are disjoint and a receiver dispatches on the first four
+/// bytes alone.
+pub const BINARY_REQUEST_MAGIC: [u8; 4] = *b"NBRQ";
+
+const BINOP_INGEST: u8 = 0;
+const BINOP_APPEND_CHUNK: u8 = 1;
+
+/// Binary envelope layout (all integers big-endian):
+///
+/// ```text
+/// offset 0..4  magic   b"NBRQ"
+/// offset 4     opcode  0 = IngestBinary, 1 = AppendChunkBinary
+///
+/// opcode 0:  u32 label_len, label bytes, codec bytes (rest)
+/// opcode 1:  u64 session, u64 seq, chunk bytes (rest)
+/// ```
+fn encode_binary_request(req: &Request) -> Option<Vec<u8>> {
+    match req {
+        Request::IngestBinary { label, bytes } => {
+            let mut out = Vec::with_capacity(9 + label.len() + bytes.len());
+            out.extend_from_slice(&BINARY_REQUEST_MAGIC);
+            out.push(BINOP_INGEST);
+            out.extend_from_slice(&(label.len() as u32).to_be_bytes());
+            out.extend_from_slice(label.as_bytes());
+            out.extend_from_slice(bytes);
+            Some(out)
+        }
+        Request::AppendChunkBinary {
+            session,
+            seq,
+            bytes,
+        } => {
+            let mut out = Vec::with_capacity(21 + bytes.len());
+            out.extend_from_slice(&BINARY_REQUEST_MAGIC);
+            out.push(BINOP_APPEND_CHUNK);
+            out.extend_from_slice(&session.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(bytes);
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+fn decode_binary_request(payload: &[u8]) -> Result<Request, WireError> {
+    let malformed = |detail: &str| WireError::Malformed {
+        detail: detail.to_string(),
+    };
+    let body = &payload[BINARY_REQUEST_MAGIC.len()..];
+    let (&opcode, body) = body
+        .split_first()
+        .ok_or_else(|| malformed("binary request truncated before opcode"))?;
+    match opcode {
+        BINOP_INGEST => {
+            if body.len() < 4 {
+                return Err(malformed("binary ingest truncated before label length"));
+            }
+            let label_len = u32::from_be_bytes(body[..4].try_into().unwrap()) as usize;
+            if body.len() < 4 + label_len {
+                return Err(malformed("binary ingest label exceeds payload"));
+            }
+            let label = std::str::from_utf8(&body[4..4 + label_len])
+                .map_err(|_| malformed("binary ingest label is not UTF-8"))?
+                .to_string();
+            Ok(Request::IngestBinary {
+                label,
+                bytes: body[4 + label_len..].to_vec(),
+            })
+        }
+        BINOP_APPEND_CHUNK => {
+            if body.len() < 16 {
+                return Err(malformed("binary chunk append truncated before header"));
+            }
+            let session = u64::from_be_bytes(body[..8].try_into().unwrap());
+            let seq = u64::from_be_bytes(body[8..16].try_into().unwrap());
+            Ok(Request::AppendChunkBinary {
+                session,
+                seq,
+                bytes: body[16..].to_vec(),
+            })
+        }
+        other => Err(WireError::Malformed {
+            detail: format!("unknown binary request opcode {other}"),
+        }),
+    }
+}
+
+/// Decode a frame payload into a request: the binary envelope when it
+/// opens with [`BINARY_REQUEST_MAGIC`], UTF-8 JSON otherwise.
+/// Distinguishes "not UTF-8" from "not a request" in the error detail.
 pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    if payload.starts_with(&BINARY_REQUEST_MAGIC) {
+        return decode_binary_request(payload);
+    }
     let text = std::str::from_utf8(payload).map_err(|e| WireError::Malformed {
         detail: format!("payload is not UTF-8: {e}"),
     })?;
@@ -883,8 +1002,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     })
 }
 
-/// Encode a request as a frame payload.
+/// Encode a request as a frame payload. Binary-codec requests take the
+/// [`BINARY_REQUEST_MAGIC`] envelope; everything else is JSON.
 pub fn encode_request(req: &Request) -> Vec<u8> {
+    if let Some(bin) = encode_binary_request(req) {
+        return bin;
+    }
     serde_json::to_string(req)
         .expect("requests always serialize")
         .into_bytes()

@@ -504,6 +504,25 @@ fn execute_inner(ctx: &WorkerCtx, req: &Request) -> Response {
             Ok(()) => Response::SessionAborted { session: *session },
             Err(e) => Response::Error(session_error(e)),
         },
+        Request::IngestBinary { label, bytes } => match store.ingest_binary(label, bytes) {
+            Ok((id, added)) => Response::Ingested {
+                id: id.to_string(),
+                added,
+            },
+            Err(e) => Response::Error(wire_error(e)),
+        },
+        Request::AppendChunkBinary {
+            session,
+            seq,
+            bytes,
+        } => match ctx.sessions.append_binary(*session, *seq, bytes) {
+            Ok(open_bytes) => Response::ChunkAppended {
+                session: *session,
+                seq: *seq,
+                open_bytes: open_bytes as u64,
+            },
+            Err(e) => Response::Error(session_error(e)),
+        },
     }
 }
 

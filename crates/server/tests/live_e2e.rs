@@ -232,6 +232,74 @@ fn capability_bits_gate_streaming_and_keep_connections_alive() {
 }
 
 #[test]
+fn binary_codec_ingest_and_stream_match_json_over_tcp() {
+    let (addr, server) = spawn_server(ServerConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+    assert!(c.binary_codec().expect("negotiate"), "daemon speaks binary");
+
+    let p1 = profile(1);
+    let p2 = profile(2);
+    let oracle = ProfileStore::new();
+    let (id1, _) = oracle.ingest_bytes("bin", &p1.to_json()).unwrap();
+    let (id2, _) = oracle.ingest_bytes("streamed", &p2.to_json()).unwrap();
+
+    // Negotiated ingest travels as codec bytes, yet the stored identity
+    // is the JSON oracle's: content ids are format-independent.
+    let (id, added) = c.ingest_profile("bin", &p1).expect("binary ingest");
+    assert!(added);
+    assert_eq!(id, id1.to_string());
+    // The same content arriving as JSON dedups against it.
+    let (again, added) = c.ingest("bin-as-json", &p1.to_json()).expect("json ingest");
+    assert!(!added);
+    assert_eq!(again, id);
+
+    // A streamed profile rides binary chunks when negotiated, and still
+    // matches what one-shot ingestion would have stored.
+    let (sid, added, chunks) = c.stream_profile("streamed", &p2, 3).expect("binary stream");
+    assert!(added);
+    assert!(chunks >= 2, "header plus thread batches");
+    assert_eq!(sid, id2.to_string());
+    assert_eq!(
+        c.aggregate().expect("aggregate"),
+        oracle.aggregate().unwrap().text()
+    );
+
+    // A binary op whose frame does not declare BINARY_CODEC (a client
+    // from before the capability existed) draws a typed refusal naming
+    // the missing bit — and the connection keeps serving.
+    let mut s = TcpStream::connect(addr).expect("raw connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let req = encode_request(&Request::IngestBinary {
+        label: "old-client".to_string(),
+        bytes: numa_codec::encode_profile(&p1),
+    });
+    s.write_all(&encode_frame_flags(PROTOCOL_VERSION, 0, &req).unwrap())
+        .unwrap();
+    let frame = read_frame(&mut s, DEFAULT_MAX_FRAME)
+        .expect("readable")
+        .expect("answered");
+    match serde_json::from_str::<Response>(std::str::from_utf8(&frame.payload).unwrap()) {
+        Ok(Response::Error(WireError::Unsupported { feature, .. })) => {
+            assert_eq!(feature, caps::BINARY_CODEC)
+        }
+        other => panic!("expected Unsupported{{BINARY_CODEC}}, got {other:?}"),
+    }
+
+    // Garbage codec bytes with the right caps are a request-level parse
+    // error, not a dead connection.
+    match c.ingest_binary("junk", vec![0xAB, 0xCD, 0xEF]) {
+        Err(ClientError::Server(WireError::ProfileParse { label, .. })) => {
+            assert_eq!(label, "junk")
+        }
+        other => panic!("expected ProfileParse, got {other:?}"),
+    }
+    assert_eq!(c.list().expect("list").len(), 2);
+
+    c.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server run");
+}
+
+#[test]
 fn dead_clients_are_reaped_and_nothing_is_half_ingested() {
     let (addr, server) = spawn_server(ServerConfig {
         live: LiveConfig {

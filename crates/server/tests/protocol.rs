@@ -150,16 +150,22 @@ proptest! {
             Request::AppendChunk { session: n as u64, seq: n as u64, chunk: body.clone() },
             Request::SealSession { session: n as u64 },
             Request::AbortSession { session: n as u64 },
+            // Binary-envelope requests ride the same encode/decode
+            // entry points as the JSON ones.
+            Request::IngestBinary { label: label.clone(), bytes: body.clone().into_bytes() },
+            Request::AppendChunkBinary { session: n as u64, seq: n as u64, bytes: body.clone().into_bytes() },
         ];
         for req in &requests {
             let decoded = decode_request(&encode_request(req)).expect("round-trip");
             prop_assert_eq!(&decoded, req);
         }
-        // Only session ops rely on a capability bit.
+        // Only session and binary-codec ops rely on capability bits.
         for req in &requests {
             let expected = match req {
                 Request::OpenSession { .. } | Request::AppendChunk { .. }
                 | Request::SealSession { .. } | Request::AbortSession { .. } => caps::STREAMING,
+                Request::IngestBinary { .. } => caps::BINARY_CODEC,
+                Request::AppendChunkBinary { .. } => caps::STREAMING | caps::BINARY_CODEC,
                 _ => 0,
             };
             prop_assert_eq!(req.required_caps(), expected);
@@ -224,11 +230,41 @@ fn flags_word_is_accepted_where_reserved_was_rejected() {
 
 #[test]
 fn capability_set_is_coherent() {
-    // STREAMING is implemented, and render() names known bits.
+    // STREAMING and BINARY_CODEC are implemented, and render() names
+    // known bits.
     assert_eq!(caps::SUPPORTED & caps::STREAMING, caps::STREAMING);
+    assert_eq!(caps::SUPPORTED & caps::BINARY_CODEC, caps::BINARY_CODEC);
+    assert_ne!(caps::STREAMING, caps::BINARY_CODEC);
     assert!(caps::render(caps::STREAMING).contains("streaming"));
+    assert!(caps::render(caps::BINARY_CODEC).contains("binary-codec"));
     assert!(caps::render(0).contains("none"));
     assert!(caps::render(0x8000).contains("unknown"));
+}
+
+#[test]
+fn truncated_binary_requests_are_typed_malformed_errors() {
+    use numa_server::protocol::BINARY_REQUEST_MAGIC;
+    let full = encode_request(&Request::IngestBinary {
+        label: "run".to_string(),
+        bytes: vec![1, 2, 3],
+    });
+    assert!(full.starts_with(&BINARY_REQUEST_MAGIC));
+    // Every proper prefix of the envelope header (magic, opcode, label
+    // length, label) decodes to a typed error, never a panic; the codec
+    // body itself is validated at execute time, not decode time.
+    let header_len = 4 + 1 + 4 + "run".len();
+    for cut in 4..header_len {
+        let err = decode_request(&full[..cut]).unwrap_err();
+        assert!(
+            matches!(err, WireError::Malformed { .. }),
+            "cut={cut} {err:?}"
+        );
+    }
+    // An unknown opcode is typed, too.
+    let mut bad = full.clone();
+    bad[4] = 0xEE;
+    let err = decode_request(&bad).unwrap_err();
+    assert!(matches!(err, WireError::Malformed { .. }), "{err:?}");
 }
 
 #[test]

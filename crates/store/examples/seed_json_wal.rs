@@ -1,0 +1,55 @@
+//! Seed a JSON-era (persist v2) data directory: a WAL whose header
+//! says version 2 and whose profile records are plain canonical JSON,
+//! exactly what daemons wrote before the binary codec landed. CI's
+//! mixed-format crash-recovery smoke uses it to prove a binary build
+//! replays an old directory unchanged — same content ids, same
+//! aggregate — before compaction migrates it forward.
+//!
+//! ```text
+//! cargo run -p numa-store --example seed_json_wal -- DIR PROFILE.json...
+//! ```
+
+use numa_profiler::NumaProfile;
+use numa_store::{fnv1a, wal};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = PathBuf::from(
+        args.next()
+            .expect("usage: seed_json_wal DIR PROFILE.json..."),
+    );
+    std::fs::create_dir_all(&dir).expect("create data dir");
+
+    // v2-era header: magic, version 2 (not the current build's
+    // PERSIST_VERSION), zero reserved bytes.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&wal::WAL_MAGIC);
+    bytes.extend_from_slice(&2u16.to_be_bytes());
+    bytes.extend_from_slice(&[0, 0]);
+
+    let mut records = 0u64;
+    for path in args {
+        let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("cannot read {path}: {e}");
+        });
+        // Canonicalize exactly as ingest would have, so the content id
+        // matches what a modern re-ingest of the same run computes.
+        let profile = NumaProfile::from_json(&raw).unwrap_or_else(|e| {
+            panic!("cannot parse {path}: {e}");
+        });
+        let canonical = profile.to_json();
+        bytes.extend_from_slice(&wal::encode_record(
+            &path,
+            &canonical,
+            fnv1a(canonical.as_bytes()),
+        ));
+        records += 1;
+    }
+    let out = wal::wal_path(&dir);
+    std::fs::write(&out, bytes).expect("write wal");
+    eprintln!(
+        "seed_json_wal: wrote {records} JSON-era record(s) to {}",
+        out.display()
+    );
+}

@@ -45,9 +45,9 @@ pub use cache::{CacheStats, MemoCache};
 pub use hash::{fnv1a, mix, ProfileId};
 
 use numa_analysis::{analyze, diff, full_text_report, render_cct, Analyzer};
-use numa_engine::Engine;
+use numa_engine::{Engine, ThreadScalars};
 use numa_profiler::{NumaProfile, RangeScope};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
@@ -133,6 +133,10 @@ pub struct StoredProfile {
     /// Attribution engine (interned symbols + columnar index), built on
     /// first query and shared by every analyzer handed out afterwards.
     engine: OnceLock<Arc<Engine>>,
+    /// Per-thread scalar columns a binary decode extracted, waiting for
+    /// the engine build to consume them (see [`StoredProfile::engine`]).
+    /// `None` for JSON-ingested profiles.
+    scalars: Mutex<Option<ThreadScalars>>,
 }
 
 impl StoredProfile {
@@ -143,16 +147,37 @@ impl StoredProfile {
             profile: Arc::new(profile),
             json_bytes,
             engine: OnceLock::new(),
+            scalars: Mutex::new(None),
         }
+    }
+
+    /// [`StoredProfile::new`] carrying the scalar columns a binary
+    /// decode already extracted, so the engine build skips re-walking
+    /// the per-thread structs for them.
+    fn with_scalars(
+        id: ProfileId,
+        label: &str,
+        profile: NumaProfile,
+        json_bytes: usize,
+        scalars: ThreadScalars,
+    ) -> Self {
+        let sp = Self::new(id, label, profile, json_bytes);
+        *sp.scalars.lock() = Some(scalars);
+        sp
     }
 
     /// The shared [`Engine`] over this profile. The index is built at
     /// most once; callers get a cheap `Arc` clone, never a profile copy.
+    /// A binary ingest's pre-extracted scalar columns are consumed by
+    /// the one build that happens.
     pub fn engine(&self) -> Arc<Engine> {
-        Arc::clone(
-            self.engine
-                .get_or_init(|| Arc::new(Engine::new(Arc::clone(&self.profile)))),
-        )
+        Arc::clone(self.engine.get_or_init(|| {
+            let profile = Arc::clone(&self.profile);
+            match self.scalars.lock().take() {
+                Some(scalars) => Arc::new(Engine::with_scalars(profile, scalars)),
+                None => Arc::new(Engine::new(profile)),
+            }
+        }))
     }
 }
 
@@ -174,17 +199,20 @@ pub struct BatchReport {
     pub added: Vec<ProfileId>,
     /// Inputs that hashed to an already-stored profile.
     pub deduplicated: usize,
-    /// Inputs that failed to parse: (label, error message).
-    pub rejected: Vec<(String, String)>,
+    /// Inputs that failed to parse: (label, typed error — always
+    /// [`StoreError::Parse`]). Typed, not stringly: callers telling a
+    /// bad input apart from a failed disk no longer match on message
+    /// prose.
+    pub rejected: Vec<(String, StoreError)>,
     /// Inputs that could not be read at all: (label, I/O error). Only
     /// populated by file-based ingestion ([`ProfileStore::ingest_dir`]);
     /// an unreadable file skips that file, never the batch.
     pub io_errors: Vec<(String, String)>,
-    /// Inputs that parsed but could not be made durable: (label,
-    /// persistence error). The profile was **not** added — the WAL
-    /// group holding it failed and was rolled back, so the input can be
-    /// retried once the underlying condition clears.
-    pub persist_failures: Vec<(String, String)>,
+    /// Inputs that parsed but could not be made durable: (label, typed
+    /// error — always [`StoreError::Persist`]). The profile was **not**
+    /// added — the WAL group holding it failed and was rolled back, so
+    /// the input can be retried once the underlying condition clears.
+    pub persist_failures: Vec<(String, StoreError)>,
 }
 
 impl BatchReport {
@@ -493,6 +521,13 @@ impl Drop for ProfileStore {
 /// buffered bytes while still letting rayon parse a chunk in parallel.
 const INGEST_DIR_CHUNK: usize = 32;
 
+/// One recovered profile record headed for replay — the JSON form
+/// persist v1/v2 wrote, or the binary columnar form v3 writes.
+enum ReplayRecord {
+    Json(wal::WalRecord),
+    Bin(wal::BinProfileRecord),
+}
+
 impl ProfileStore {
     /// Default number of memoized artifacts.
     pub const DEFAULT_CACHE_CAPACITY: usize = 256;
@@ -599,12 +634,14 @@ impl ProfileStore {
         // streaming sessions reassemble into ordinary profile records;
         // unsealed or incomplete ones are dropped wholesale — a client
         // (or this daemon) that died mid-stream never half-ingests.
-        let mut records: Vec<wal::WalRecord> = Vec::new();
-        let mut chunks: HashMap<u64, std::collections::BTreeMap<u64, String>> = HashMap::new();
+        let mut records: Vec<ReplayRecord> = Vec::new();
+        let mut chunks: HashMap<u64, std::collections::BTreeMap<u64, wal::ChunkData>> =
+            HashMap::new();
         let mut seals: Vec<wal::SealRecord> = Vec::new();
         for entry in snap.entries.into_iter().chain(log.entries) {
             match entry {
-                wal::WalEntry::Profile(r) => records.push(r),
+                wal::WalEntry::Profile(r) => records.push(ReplayRecord::Json(r)),
+                wal::WalEntry::ProfileBin(r) => records.push(ReplayRecord::Bin(r)),
                 wal::WalEntry::Chunk(c) => {
                     base.session_chunks_replayed += 1;
                     // BTreeMap insert dedups chunks re-staged by a
@@ -622,7 +659,7 @@ impl ProfileStore {
             match Self::assemble_sealed(&seal, parts) {
                 Some(record) => {
                     base.sessions_recovered += 1;
-                    records.push(record);
+                    records.push(ReplayRecord::Json(record));
                 }
                 None => base.sessions_dropped += 1,
             }
@@ -641,7 +678,17 @@ impl ProfileStore {
             let profiles = shards.corpus_sorted();
             profiles
                 .par_iter()
-                .map(|sp| (sp.label.to_string(), sp.profile.to_json(), sp.id.0))
+                .map(|sp| {
+                    // Snapshots are always written in the binary codec —
+                    // compaction is where a JSON-era corpus migrates
+                    // forward to persist v3.
+                    (
+                        sp.label.to_string(),
+                        numa_codec::encode_profile(&sp.profile),
+                        sp.id.0,
+                        sp.json_bytes as u32,
+                    )
+                })
                 .collect_vec()
         });
         let session_log = Arc::clone(&store.session_log);
@@ -667,16 +714,17 @@ impl ProfileStore {
     /// Reassemble one sealed session recovered from disk. `None` (drop
     /// the session) when chunks are missing, fail to parse, do not
     /// assemble, or the assembled canonical JSON does not hash to the
-    /// seal's content hash.
+    /// seal's content hash. Chunks decode from whichever staging format
+    /// (JSON or binary) each was appended in — a session may mix them.
     fn assemble_sealed(
         seal: &wal::SealRecord,
-        parts: std::collections::BTreeMap<u64, String>,
+        parts: std::collections::BTreeMap<u64, wal::ChunkData>,
     ) -> Option<wal::WalRecord> {
         // Chunks past the sealed count are orphans of appends whose ack
         // reported failure (the record hit disk but its group did not
         // commit); the seal's prefix is what was acknowledged, so only
         // it counts.
-        let parts: std::collections::BTreeMap<u64, String> = parts
+        let parts: std::collections::BTreeMap<u64, wal::ChunkData> = parts
             .into_iter()
             .filter(|(seq, _)| *seq < seal.chunks)
             .collect();
@@ -685,7 +733,7 @@ impl ProfileStore {
         }
         let chunks: Vec<stream::ChunkPayload> = parts
             .values()
-            .map(|payload| stream::ChunkPayload::from_json(payload).ok())
+            .map(stream::ChunkPayload::from_chunk_data)
             .collect::<Option<Vec<_>>>()?;
         let profile = stream::assemble(chunks).ok()?;
         let (id, canonical) = ProfileId::of(&profile);
@@ -704,18 +752,38 @@ impl ProfileStore {
     /// sequence numbers in file order, then insert per shard in
     /// parallel — one write lock per shard for its whole group. Returns
     /// the number of records that no longer parse.
-    fn replay(&self, records: Vec<wal::WalRecord>) -> u64 {
+    ///
+    /// Binary (persist-v3) records skip re-canonicalization: their
+    /// content hash was computed at ingest time and the record is
+    /// checksum-protected, so the recorded id and JSON footprint are
+    /// trusted as-is — the replay cost is one columnar decode.
+    fn replay(&self, records: Vec<ReplayRecord>) -> u64 {
         use rayon::prelude::*;
         if records.is_empty() {
             return 0;
         }
         let parsed: Vec<Option<Arc<StoredProfile>>> = records
             .par_iter()
-            .map(|r| {
-                NumaProfile::from_json(&r.json).ok().map(|profile| {
+            .map(|r| match r {
+                ReplayRecord::Json(r) => NumaProfile::from_json(&r.json).ok().map(|profile| {
                     let (id, canonical) = ProfileId::of(&profile);
                     Arc::new(StoredProfile::new(id, &r.label, profile, canonical.len()))
-                })
+                }),
+                ReplayRecord::Bin(r) => {
+                    let view = numa_codec::ProfileView::parse(&r.bytes).ok()?;
+                    let scalars = ThreadScalars {
+                        instructions: view.instructions().collect(),
+                        numa_events: view.numa_events().collect(),
+                    };
+                    let profile = view.to_profile().ok()?;
+                    Some(Arc::new(StoredProfile::with_scalars(
+                        ProfileId(r.content_hash),
+                        &r.label,
+                        profile,
+                        r.json_len as usize,
+                        scalars,
+                    )))
+                }
             })
             .collect_vec();
         let failures = parsed.iter().filter(|p| p.is_none()).count() as u64;
@@ -778,22 +846,32 @@ impl ProfileStore {
 
     /// Log profiles about to be inserted and block until the
     /// group-commit persister has them flushed. `fresh` rows are
-    /// `(label, canonical json, id)`; record encoding happens here, on
-    /// the ingest thread, outside every lock. Returns one result per
-    /// row, in input order: `Err` means the row's commit group failed
-    /// and was rolled back — the caller must **not** insert that
-    /// profile (ack ⇒ durable). In-memory stores report every row `Ok`.
-    fn persist_batch(&self, fresh: &[(&str, &str, ProfileId)]) -> Vec<Result<(), String>> {
+    /// `(label, codec bytes, id, canonical json length)`; record
+    /// encoding happens here, on the ingest thread, outside every lock.
+    /// Returns one result per row, in input order: `Err` means the
+    /// row's commit group failed and was rolled back — the caller must
+    /// **not** insert that profile (ack ⇒ durable). In-memory stores
+    /// report every row `Ok`.
+    fn persist_batch(
+        &self,
+        fresh: &[(&str, &[u8], ProfileId, u32)],
+    ) -> Vec<Result<(), StoreError>> {
         let Some(p) = self.persist.get() else {
             return fresh.iter().map(|_| Ok(())).collect();
         };
         let records: Vec<Vec<u8>> = fresh
             .iter()
-            .map(|(label, json, id)| wal::encode_record(label, json, id.0))
+            .map(|(label, bytes, id, json_len)| {
+                wal::encode_bin_record(label, bytes, id.0, *json_len)
+            })
             .collect();
         p.append_all(records)
             .into_iter()
-            .map(|r| r.map_err(|e| e.to_string()))
+            .map(|r| {
+                r.map_err(|e| StoreError::Persist {
+                    message: e.to_string(),
+                })
+            })
             .collect()
     }
 
@@ -812,6 +890,26 @@ impl ProfileStore {
     /// session's in-memory state back in step so a retry of the same
     /// sequence number is possible.
     pub fn stage_chunk(&self, session: u64, seq: u64, payload: &str) -> Result<(), StoreError> {
+        self.stage_chunk_data(session, seq, &wal::ChunkData::Json(payload.to_string()))
+    }
+
+    /// [`ProfileStore::stage_chunk`] for a binary-codec chunk payload
+    /// (see [`stream::ChunkPayload::to_binary`]).
+    pub fn stage_chunk_binary(
+        &self,
+        session: u64,
+        seq: u64,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        self.stage_chunk_data(session, seq, &wal::ChunkData::Binary(payload.to_vec()))
+    }
+
+    fn stage_chunk_data(
+        &self,
+        session: u64,
+        seq: u64,
+        payload: &wal::ChunkData,
+    ) -> Result<(), StoreError> {
         let Some(p) = self.persist.get() else {
             return Ok(());
         };
@@ -865,6 +963,9 @@ impl ProfileStore {
     ) -> Result<(ProfileId, bool), StoreError> {
         let (id, canonical) = ProfileId::of(&profile);
         let sp = Arc::new(StoredProfile::new(id, label, profile, canonical.len()));
+        // Kept for the rare poisoned-session fallback below, which
+        // needs the profile after the insert consumed `sp`.
+        let profile = Arc::clone(&sp.profile);
         let added = self.insert(sp);
         if !added {
             self.discard_session(session);
@@ -895,10 +996,12 @@ impl ProfileStore {
                 // The assembled profile is in hand, so persist it as an
                 // ordinary record instead of sealing.
                 self.discard_session(session);
-                match self.persist_batch(&[(label, &canonical, id)]).pop() {
-                    Some(Err(message)) => {
+                let bytes = numa_codec::encode_profile(&profile);
+                let row = (label, bytes.as_slice(), id, canonical.len() as u32);
+                match self.persist_batch(&[row]).pop() {
+                    Some(Err(e)) => {
                         self.remove(id);
-                        Err(StoreError::Persist { message })
+                        Err(e)
                     }
                     _ => Ok((id, true)),
                 }
@@ -950,12 +1053,20 @@ impl ProfileStore {
     ) -> Result<(ProfileId, bool), StoreError> {
         let (id, canonical) = ProfileId::of(&profile);
         let sp = Arc::new(StoredProfile::new(id, label, profile, canonical.len()));
+        // Encoded before the insert consumes `sp`; only durable stores
+        // pay for it.
+        let bytes = if self.persist.get().is_some() {
+            numa_codec::encode_profile(&sp.profile)
+        } else {
+            Vec::new()
+        };
         if !self.insert(sp) {
             return Ok((id, false));
         }
-        if let Some(Err(message)) = self.persist_batch(&[(label, &canonical, id)]).pop() {
+        let row = (label, bytes.as_slice(), id, canonical.len() as u32);
+        if let Some(Err(e)) = self.persist_batch(&[row]).pop() {
             self.remove(id);
-            return Err(StoreError::Persist { message });
+            return Err(e);
         }
         Ok((id, true))
     }
@@ -974,6 +1085,61 @@ impl ProfileStore {
         }
     }
 
+    /// Ingest one binary-codec profile container (the
+    /// `caps::BINARY_CODEC` wire path). Identity is still the FNV-1a
+    /// hash of the canonical JSON — a profile ingested as JSON and the
+    /// same profile ingested as codec bytes dedup to one copy with one
+    /// id — but the client's own bytes are what get persisted (no
+    /// re-encode), and the decoded scalar columns are handed to the
+    /// engine build.
+    pub fn ingest_binary(
+        &self,
+        label: &str,
+        bytes: &[u8],
+    ) -> Result<(ProfileId, bool), StoreError> {
+        let view = match numa_codec::ProfileView::parse(bytes) {
+            Ok(v) => v,
+            Err(e) => {
+                self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Parse {
+                    label: label.to_string(),
+                    message: e.to_string(),
+                });
+            }
+        };
+        let scalars = ThreadScalars {
+            instructions: view.instructions().collect(),
+            numa_events: view.numa_events().collect(),
+        };
+        let profile = match view.to_profile() {
+            Ok(p) => p,
+            Err(e) => {
+                self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Parse {
+                    label: label.to_string(),
+                    message: e.to_string(),
+                });
+            }
+        };
+        let (id, canonical) = ProfileId::of(&profile);
+        let sp = Arc::new(StoredProfile::with_scalars(
+            id,
+            label,
+            profile,
+            canonical.len(),
+            scalars,
+        ));
+        if !self.insert(sp) {
+            return Ok((id, false));
+        }
+        let row = (label, bytes, id, canonical.len() as u32);
+        if let Some(Err(e)) = self.persist_batch(&[row]).pop() {
+            self.remove(id);
+            return Err(e);
+        }
+        Ok((id, true))
+    }
+
     /// Ingest a batch of `(label, json)` inputs. Parsing and content
     /// hashing — the expensive part — run in parallel under rayon (the
     /// active thread pool; see `ThreadPool::install`); insertion is a
@@ -982,18 +1148,31 @@ impl ProfileStore {
     /// for a single group commit. Bad inputs are reported, not fatal.
     pub fn ingest_batch(&self, inputs: &[(String, String)]) -> BatchReport {
         use rayon::prelude::*;
-        // Parsed profile paired with its canonical JSON (kept for the
-        // WAL record), or the (label, error) rejection.
-        type Parsed = Result<(Arc<StoredProfile>, String), (String, String)>;
+        let durable = self.persist.get().is_some();
+        // Parsed profile paired with its canonical-JSON length and its
+        // codec bytes (the WAL record body; empty for in-memory
+        // stores), or the (label, typed error) rejection.
+        type Parsed = Result<(Arc<StoredProfile>, u32, Vec<u8>), (String, StoreError)>;
         let parsed: Vec<Parsed> = inputs
             .par_iter()
             .map(|(label, json)| match NumaProfile::from_json(json) {
                 Ok(profile) => {
                     let (id, canonical) = ProfileId::of(&profile);
                     let sp = StoredProfile::new(id, label, profile, canonical.len());
-                    Ok((Arc::new(sp), canonical))
+                    let bytes = if durable {
+                        numa_codec::encode_profile(&sp.profile)
+                    } else {
+                        Vec::new()
+                    };
+                    Ok((Arc::new(sp), canonical.len() as u32, bytes))
                 }
-                Err(e) => Err((label.clone(), e.to_string())),
+                Err(e) => Err((
+                    label.clone(),
+                    StoreError::Parse {
+                        label: label.clone(),
+                        message: e.to_string(),
+                    },
+                )),
             })
             .collect_vec();
         let mut report = BatchReport::default();
@@ -1003,12 +1182,12 @@ impl ProfileStore {
         // WAL-committed as one group. A row the persister failed is
         // rolled back out of the store and reported, never silently
         // kept as ingested-but-volatile.
-        let mut fresh: Vec<(Arc<StoredProfile>, String)> = Vec::new();
+        let mut fresh: Vec<(Arc<StoredProfile>, u32, Vec<u8>)> = Vec::new();
         for item in parsed {
             match item {
-                Ok((sp, canonical)) => {
+                Ok((sp, json_len, bytes)) => {
                     if self.insert(Arc::clone(&sp)) {
-                        fresh.push((sp, canonical));
+                        fresh.push((sp, json_len, bytes));
                     } else {
                         // An identical input earlier in this batch (or a
                         // racing ingest) won.
@@ -1021,19 +1200,17 @@ impl ProfileStore {
                 }
             }
         }
-        let rows: Vec<(&str, &str, ProfileId)> = fresh
+        let rows: Vec<(&str, &[u8], ProfileId, u32)> = fresh
             .iter()
-            .map(|(sp, canonical)| (&*sp.label, canonical.as_str(), sp.id))
+            .map(|(sp, json_len, bytes)| (&*sp.label, bytes.as_slice(), sp.id, *json_len))
             .collect();
         let results = self.persist_batch(&rows);
-        for ((sp, _), result) in fresh.into_iter().zip(results) {
+        for ((sp, _, _), result) in fresh.into_iter().zip(results) {
             match result {
                 Ok(()) => report.added.push(sp.id),
-                Err(message) => {
+                Err(e) => {
                     self.remove(sp.id);
-                    report
-                        .persist_failures
-                        .push((sp.label.to_string(), message));
+                    report.persist_failures.push((sp.label.to_string(), e));
                 }
             }
         }
@@ -1056,10 +1233,22 @@ impl ProfileStore {
         for chunk in files.chunks(INGEST_DIR_CHUNK) {
             let mut inputs = Vec::with_capacity(chunk.len());
             for f in chunk {
-                let label = f
-                    .file_name()
-                    .map(|n| n.to_string_lossy().into_owned())
-                    .unwrap_or_else(|| f.display().to_string());
+                // Labels come from the file name. A non-UTF-8 name would
+                // lossy-convert to replacement characters, so two
+                // distinct files could collide onto one label; suffix
+                // such labels with the FNV-1a hash of the *raw* name
+                // bytes to keep them distinguishable.
+                let label = match f.file_name() {
+                    Some(n) => match n.to_str() {
+                        Some(utf8) => utf8.to_owned(),
+                        None => format!(
+                            "{}#{:016x}",
+                            n.to_string_lossy(),
+                            fnv1a(n.as_encoded_bytes())
+                        ),
+                    },
+                    None => f.display().to_string(),
+                };
                 match std::fs::read_to_string(f) {
                     Ok(json) => inputs.push((label, json)),
                     Err(e) => report.io_errors.push((label, e.to_string())),

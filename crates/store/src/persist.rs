@@ -57,9 +57,10 @@ use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Produces the `(label, canonical json, content hash)` rows a snapshot
-/// persists. Runs on the persister thread.
-pub(crate) type CorpusFn = Box<dyn Fn() -> Vec<(String, String, u64)> + Send + 'static>;
+/// Produces the [`crate::snapshot::SnapshotRow`]s (label, binary-codec
+/// payload, content hash, canonical-JSON length) a snapshot persists.
+/// Runs on the persister thread.
+pub(crate) type CorpusFn = Box<dyn Fn() -> Vec<crate::snapshot::SnapshotRow> + Send + 'static>;
 
 /// Produces the `(session id, encoded record)` rows of still-open
 /// streaming sessions. A compaction resets the WAL — the only place

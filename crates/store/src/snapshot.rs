@@ -16,7 +16,9 @@
 //! content-addressed ingestion dedups any overlap (a record present in
 //! both because a crash interleaved an append with a compaction).
 
-use crate::wal::{encode_file_header, encode_record, scan_file_with, RecordScan, SNAPSHOT_MAGIC};
+use crate::wal::{
+    encode_bin_record, encode_file_header, scan_file_with, RecordScan, SNAPSHOT_MAGIC,
+};
 use numa_faults::{StdStorage, Storage};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -24,14 +26,21 @@ use std::path::{Path, PathBuf};
 /// Snapshot file name inside a data directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 
+/// One profile row a snapshot persists: label, binary-codec payload,
+/// content hash (FNV-1a of the canonical JSON — format-independent),
+/// and the canonical JSON's byte length (memory accounting on replay).
+pub type SnapshotRow = (String, Vec<u8>, u64, u32);
+
 /// Path of the snapshot inside `dir`.
 pub fn snapshot_path(dir: &Path) -> PathBuf {
     dir.join(SNAPSHOT_FILE)
 }
 
-/// Write a snapshot of `entries` (`(label, canonical_json,
-/// content_hash)`) atomically. Returns the snapshot's byte size.
-pub fn write_snapshot(dir: &Path, entries: &[(String, String, u64)]) -> io::Result<u64> {
+/// Write a snapshot of `entries` atomically. Rows are written as
+/// binary-codec records (persist v3) — this is where compaction
+/// rewrites any JSON-era records forward. Returns the snapshot's byte
+/// size.
+pub fn write_snapshot(dir: &Path, entries: &[SnapshotRow]) -> io::Result<u64> {
     write_snapshot_with(&StdStorage, dir, entries)
 }
 
@@ -43,7 +52,7 @@ pub fn write_snapshot(dir: &Path, entries: &[(String, String, u64)]) -> io::Resu
 pub fn write_snapshot_with(
     storage: &dyn Storage,
     dir: &Path,
-    entries: &[(String, String, u64)],
+    entries: &[SnapshotRow],
 ) -> io::Result<u64> {
     let live = snapshot_path(dir);
     let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
@@ -53,8 +62,8 @@ pub fn write_snapshot_with(
         let header = encode_file_header(SNAPSHOT_MAGIC);
         f.write_all(&header)?;
         bytes += header.len() as u64;
-        for (label, json, hash) in entries {
-            let record = encode_record(label, json, *hash);
+        for (label, payload, hash, json_len) in entries {
+            let record = encode_bin_record(label, payload, *hash, *json_len);
             f.write_all(&record)?;
             bytes += record.len() as u64;
         }
@@ -92,14 +101,16 @@ mod tests {
     #[test]
     fn snapshot_round_trips_and_replaces_atomically() {
         let dir = tmp("roundtrip");
-        let json = "{\"v\":1}";
-        let entry = |label: &str| (label.to_string(), json.to_string(), fnv1a(json.as_bytes()));
+        let payload = b"binary-profile-bytes".to_vec();
+        let entry = |label: &str| (label.to_string(), payload.clone(), fnv1a(&payload), 99u32);
         write_snapshot(&dir, &[entry("a")]).unwrap();
         write_snapshot(&dir, &[entry("a"), entry("b")]).unwrap();
         let scan = load_snapshot(&dir).unwrap();
-        let profiles: Vec<_> = scan.profiles().collect();
-        assert_eq!(profiles.len(), 2);
-        assert_eq!(profiles[1].label, "b");
+        assert_eq!(scan.entries.len(), 2);
+        assert!(matches!(
+            &scan.entries[1],
+            crate::wal::WalEntry::ProfileBin(r) if r.label == "b" && r.json_len == 99
+        ));
         assert_eq!(scan.truncated_bytes, 0);
         assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
         std::fs::remove_dir_all(&dir).ok();

@@ -41,15 +41,83 @@ pub enum ChunkPayload {
     Threads(Vec<ThreadProfile>),
 }
 
+/// Leading tag byte of a binary chunk payload.
+const CHUNK_TAG_HEADER: u8 = 0;
+const CHUNK_TAG_THREADS: u8 = 1;
+
 impl ChunkPayload {
-    /// Serialize to the wire/WAL chunk format.
+    /// Serialize to the JSON wire/WAL chunk format (the fallback for
+    /// peers without `caps::BINARY_CODEC`).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("chunk serializes")
     }
 
-    /// Deserialize from the wire/WAL chunk format.
+    /// Deserialize from the JSON wire/WAL chunk format.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
+    }
+
+    /// Serialize to the binary wire/WAL chunk format: a tag byte
+    /// followed by a numa-codec container. A `Header` chunk is encoded
+    /// as a full-profile container with an empty thread list; a
+    /// `Threads` chunk as a thread-batch container — both sides of the
+    /// split reuse the one profile codec.
+    pub fn to_binary(&self) -> Vec<u8> {
+        match self {
+            ChunkPayload::Header(h) => {
+                let mut out = vec![CHUNK_TAG_HEADER];
+                out.extend_from_slice(&numa_codec::encode_parts(&numa_codec::ProfileParts {
+                    mechanism: h.mechanism,
+                    capabilities: h.capabilities,
+                    domains: h.domains,
+                    machine_name: &h.machine_name,
+                    func_names: &h.func_names,
+                    vars: &h.vars,
+                    threads: &[],
+                    first_touches: &h.first_touches,
+                }));
+                out
+            }
+            ChunkPayload::Threads(batch) => {
+                let mut out = vec![CHUNK_TAG_THREADS];
+                out.extend_from_slice(&numa_codec::encode_threads(batch));
+                out
+            }
+        }
+    }
+
+    /// Deserialize from the binary wire/WAL chunk format.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, numa_codec::CodecError> {
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or(numa_codec::CodecError::Truncated)?;
+        match tag {
+            CHUNK_TAG_HEADER => {
+                let p = numa_codec::decode_profile(rest)?;
+                Ok(ChunkPayload::Header(Box::new(ProfileHeader {
+                    mechanism: p.mechanism,
+                    capabilities: p.capabilities,
+                    domains: p.domains,
+                    machine_name: p.machine_name,
+                    func_names: p.func_names,
+                    vars: p.vars,
+                    first_touches: p.first_touches,
+                })))
+            }
+            CHUNK_TAG_THREADS => Ok(ChunkPayload::Threads(numa_codec::decode_threads(rest)?)),
+            _ => Err(numa_codec::CodecError::Malformed("unknown chunk tag")),
+        }
+    }
+
+    /// Deserialize from either staged format (see
+    /// [`crate::wal::ChunkData`]). `None` on any parse failure — crash
+    /// replay treats an undecodable chunk as a dropped session, exactly
+    /// like a JSON chunk that no longer parses.
+    pub fn from_chunk_data(data: &crate::wal::ChunkData) -> Option<Self> {
+        match data {
+            crate::wal::ChunkData::Json(s) => Self::from_json(s).ok(),
+            crate::wal::ChunkData::Binary(b) => Self::from_binary(b).ok(),
+        }
     }
 }
 
@@ -192,6 +260,29 @@ mod tests {
             .map(|c| ChunkPayload::from_json(&c.to_json()).unwrap())
             .collect();
         assert_eq!(assemble(rebuilt).unwrap().to_json(), canonical);
+    }
+
+    #[test]
+    fn binary_chunks_round_trip_and_assemble_identically() {
+        let original = profile();
+        let canonical = original.to_json();
+        let chunks = split_profile(&original, 2);
+        let rebuilt: Vec<ChunkPayload> = chunks
+            .iter()
+            .map(|c| ChunkPayload::from_binary(&c.to_binary()).unwrap())
+            .collect();
+        assert_eq!(assemble(rebuilt).unwrap().to_json(), canonical);
+        // A flipped tag byte is a typed error, not a panic.
+        let mut bad = chunks[0].to_binary();
+        bad[0] = 7;
+        assert_eq!(
+            ChunkPayload::from_binary(&bad).unwrap_err(),
+            numa_codec::CodecError::Malformed("unknown chunk tag")
+        );
+        assert_eq!(
+            ChunkPayload::from_binary(&[]).unwrap_err(),
+            numa_codec::CodecError::Truncated
+        );
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //! u32  body_len       byte count of `body`
 //! u64  body_fnv       FNV-1a over the body bytes
 //! body:
-//!   u8   kind         0 = profile, 1 = session chunk, 2 = session seal
+//!   u8   kind         0 = profile (JSON), 1 = session chunk (JSON),
+//!                     2 = session seal, 3 = profile (binary codec),
+//!                     4 = session chunk (binary codec)
 //!
-//!   kind 0 (profile — a fully ingested run):
+//!   kind 0 (profile — a fully ingested run, JSON payload):
 //!     u32  label_len    byte count of `label`
 //!     ...  label        UTF-8 label
 //!     u64  content_hash FNV-1a of the canonical JSON (the ProfileId)
@@ -36,6 +38,23 @@
 //!     u64  content_hash FNV-1a of the assembled canonical JSON
 //!     u32  label_len    byte count of `label`
 //!     ...  label        UTF-8 label (rest of the body, exactly)
+//!
+//!   kind 3 (profile — binary numa-codec payload, persist v3):
+//!     u32  label_len    byte count of `label`
+//!     ...  label        UTF-8 label
+//!     u64  content_hash FNV-1a of the canonical JSON (the ProfileId —
+//!                       the content id stays defined over the canonical
+//!                       JSON even when the payload is binary)
+//!     u32  json_len     byte length the canonical JSON would have
+//!                       (memory-accounting metadata; replay skips the
+//!                       re-serialization that would otherwise be needed
+//!                       to recover it)
+//!     ...  bytes        numa-codec profile buffer (rest of the body)
+//!
+//!   kind 4 (chunk — binary numa-codec payload):
+//!     u64  session      session id
+//!     u64  seq          zero-based chunk sequence number
+//!     ...  bytes        binary chunk payload (rest of the body)
 //! ```
 //!
 //! A sealed session replays as a profile only when every chunk
@@ -62,8 +81,12 @@ use std::io::{self, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// On-disk format revision for WAL and snapshot files. Version 2 added
-/// the record kind byte (streaming-session chunk and seal records).
-pub const PERSIST_VERSION: u16 = 2;
+/// the record kind byte (streaming-session chunk and seal records);
+/// version 3 added the binary-codec profile and chunk kinds. Readers
+/// accept any version `1..=PERSIST_VERSION` — every record kind is
+/// self-describing, so an old file replays under a new build unchanged
+/// (and compaction rewrites it forward to the current version).
+pub const PERSIST_VERSION: u16 = 3;
 
 /// Magic of the write-ahead log file.
 pub const WAL_MAGIC: [u8; 4] = *b"HPWL";
@@ -83,6 +106,8 @@ pub const WAL_FILE: &str = "wal.log";
 const KIND_PROFILE: u8 = 0;
 const KIND_CHUNK: u8 = 1;
 const KIND_SEAL: u8 = 2;
+const KIND_PROFILE_BIN: u8 = 3;
+const KIND_CHUNK_BIN: u8 = 4;
 
 /// Path of the WAL inside `dir`.
 pub fn wal_path(dir: &Path) -> PathBuf {
@@ -97,6 +122,15 @@ pub fn encode_file_header(magic: [u8; 4]) -> [u8; 8] {
     h
 }
 
+/// Whether an 8-byte file header is readable by this build: right
+/// magic, version `1..=PERSIST_VERSION`, reserved bytes zero. Version
+/// range rather than equality so data directories written by older
+/// builds keep replaying.
+fn header_readable(head: &[u8; 8], magic: [u8; 4]) -> bool {
+    let version = u16::from_be_bytes([head[4], head[5]]);
+    head[..4] == magic && (1..=PERSIST_VERSION).contains(&version) && head[6..8] == [0, 0]
+}
+
 /// One intact profile record pulled off a log or snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalRecord {
@@ -107,14 +141,37 @@ pub struct WalRecord {
     pub content_hash: u64,
 }
 
+/// One intact binary-codec profile record (persist v3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinProfileRecord {
+    pub label: String,
+    /// FNV-1a of the canonical JSON — the profile's content id. The
+    /// invariant holds across formats: a binary record and the JSON
+    /// record of the same profile carry the same hash.
+    pub content_hash: u64,
+    /// Byte length the canonical JSON would have (memory accounting).
+    pub json_len: u32,
+    /// numa-codec profile buffer.
+    pub bytes: Vec<u8>,
+}
+
+/// A chunk payload in whichever format the client staged it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChunkData {
+    /// Chunk JSON exactly as the client sent it.
+    Json(String),
+    /// Binary chunk payload exactly as the client sent it.
+    Binary(Vec<u8>),
+}
+
 /// One staged chunk of an open streaming session.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChunkRecord {
     pub session: u64,
     /// Zero-based sequence number within the session.
     pub seq: u64,
-    /// Chunk JSON exactly as the client sent it.
-    pub payload: String,
+    /// Chunk payload exactly as the client sent it.
+    pub payload: ChunkData,
 }
 
 /// The commit record of a streamed session.
@@ -132,6 +189,7 @@ pub struct SealRecord {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WalEntry {
     Profile(WalRecord),
+    ProfileBin(BinProfileRecord),
     Chunk(ChunkRecord),
     Seal(SealRecord),
 }
@@ -147,13 +205,32 @@ pub fn encode_record(label: &str, json: &str, content_hash: u64) -> Vec<u8> {
     finish_record(out)
 }
 
-/// Serialize one session-chunk record (record header + body).
-pub fn encode_chunk_record(session: u64, seq: u64, payload: &str) -> Vec<u8> {
-    let body_len = 1 + 8 + 8 + payload.len();
-    let mut out = begin_record(body_len, KIND_CHUNK);
+/// Serialize one binary-codec profile record (record header + body).
+/// `content_hash` is still the FNV-1a of the canonical JSON and
+/// `json_len` its byte length — the content id is format-independent.
+pub fn encode_bin_record(label: &str, bytes: &[u8], content_hash: u64, json_len: u32) -> Vec<u8> {
+    let body_len = 1 + 4 + label.len() + 8 + 4 + bytes.len();
+    let mut out = begin_record(body_len, KIND_PROFILE_BIN);
+    out.extend_from_slice(&(label.len() as u32).to_be_bytes());
+    out.extend_from_slice(label.as_bytes());
+    out.extend_from_slice(&content_hash.to_be_bytes());
+    out.extend_from_slice(&json_len.to_be_bytes());
+    out.extend_from_slice(bytes);
+    finish_record(out)
+}
+
+/// Serialize one session-chunk record (record header + body). The
+/// record kind follows the payload's format.
+pub fn encode_chunk_record(session: u64, seq: u64, payload: &ChunkData) -> Vec<u8> {
+    let (kind, raw): (u8, &[u8]) = match payload {
+        ChunkData::Json(s) => (KIND_CHUNK, s.as_bytes()),
+        ChunkData::Binary(b) => (KIND_CHUNK_BIN, b),
+    };
+    let body_len = 1 + 8 + 8 + raw.len();
+    let mut out = begin_record(body_len, kind);
     out.extend_from_slice(&session.to_be_bytes());
     out.extend_from_slice(&seq.to_be_bytes());
-    out.extend_from_slice(payload.as_bytes());
+    out.extend_from_slice(raw);
     finish_record(out)
 }
 
@@ -209,8 +286,9 @@ impl RecordScan {
 /// corrupt record. Never fails: damage is reported as truncation.
 pub fn scan_bytes(bytes: &[u8], magic: [u8; 4]) -> RecordScan {
     let total = bytes.len() as u64;
-    let header = encode_file_header(magic);
-    if bytes.len() < header.len() || bytes[..header.len()] != header {
+    if bytes.len() < FILE_HEADER_LEN as usize
+        || !header_readable(bytes[..8].try_into().unwrap(), magic)
+    {
         return RecordScan {
             entries: Vec::new(),
             valid_len: 0,
@@ -218,7 +296,7 @@ pub fn scan_bytes(bytes: &[u8], magic: [u8; 4]) -> RecordScan {
         };
     }
     let mut entries = Vec::new();
-    let mut off = header.len();
+    let mut off = FILE_HEADER_LEN as usize;
     while let Some((entry, next)) = decode_record_at(bytes, off) {
         entries.push(entry);
         off = next;
@@ -257,8 +335,10 @@ fn decode_body(stored_fnv: u64, body: &[u8]) -> Option<WalEntry> {
     let (&kind, body) = body.split_first()?;
     match kind {
         KIND_PROFILE => decode_profile_body(body),
-        KIND_CHUNK => decode_chunk_body(body),
+        KIND_CHUNK => decode_chunk_body(body, false),
         KIND_SEAL => decode_seal_body(body),
+        KIND_PROFILE_BIN => decode_bin_profile_body(body),
+        KIND_CHUNK_BIN => decode_chunk_body(body, true),
         _ => None, // record from a future format revision
     }
 }
@@ -285,17 +365,43 @@ fn decode_profile_body(body: &[u8]) -> Option<WalEntry> {
     }))
 }
 
-fn decode_chunk_body(body: &[u8]) -> Option<WalEntry> {
+fn decode_bin_profile_body(body: &[u8]) -> Option<WalEntry> {
+    if body.len() < 16 {
+        return None;
+    }
+    let label_len = u32::from_be_bytes(body[..4].try_into().unwrap()) as usize;
+    if body.len() < 4 + label_len + 12 {
+        return None;
+    }
+    let label = std::str::from_utf8(&body[4..4 + label_len]).ok()?;
+    let at = 4 + label_len;
+    let content_hash = u64::from_be_bytes(body[at..at + 8].try_into().unwrap());
+    let json_len = u32::from_be_bytes(body[at + 8..at + 12].try_into().unwrap());
+    // The payload is opaque here: the WAL frames bytes, the codec crate
+    // owns their meaning. The record checksum already vouched for them.
+    Some(WalEntry::ProfileBin(BinProfileRecord {
+        label: label.to_string(),
+        content_hash,
+        json_len,
+        bytes: body[at + 12..].to_vec(),
+    }))
+}
+
+fn decode_chunk_body(body: &[u8], binary: bool) -> Option<WalEntry> {
     if body.len() < 16 {
         return None;
     }
     let session = u64::from_be_bytes(body[..8].try_into().unwrap());
     let seq = u64::from_be_bytes(body[8..16].try_into().unwrap());
-    let payload = std::str::from_utf8(&body[16..]).ok()?;
+    let payload = if binary {
+        ChunkData::Binary(body[16..].to_vec())
+    } else {
+        ChunkData::Json(std::str::from_utf8(&body[16..]).ok()?.to_string())
+    };
     Some(WalEntry::Chunk(ChunkRecord {
         session,
         seq,
-        payload: payload.to_string(),
+        payload,
     }))
 }
 
@@ -339,9 +445,8 @@ pub fn scan_file_with(
         return Ok(RecordScan::default());
     };
     let total = file.len()?;
-    let header = encode_file_header(magic);
     let mut head = [0u8; FILE_HEADER_LEN as usize];
-    if file.read_exact_or_eof(&mut head)? < head.len() || head != header {
+    if file.read_exact_or_eof(&mut head)? < head.len() || !header_readable(&head, magic) {
         return Ok(RecordScan {
             entries: Vec::new(),
             valid_len: 0,
@@ -567,12 +672,20 @@ mod tests {
         let path = wal_path(&dir);
         let mut w = WalWriter::open_after(&path, 0, false).unwrap();
         let json = "{\"k\":1}";
-        w.write_encoded(&encode_chunk_record(7, 0, "{\"threads\":[]}"))
-            .unwrap();
+        w.write_encoded(&encode_chunk_record(
+            7,
+            0,
+            &ChunkData::Json("{\"threads\":[]}".to_string()),
+        ))
+        .unwrap();
         w.write_encoded(&encode_record("oneshot", json, fnv1a(json.as_bytes())))
             .unwrap();
-        w.write_encoded(&encode_chunk_record(7, 1, "{\"threads\":[1]}"))
-            .unwrap();
+        w.write_encoded(&encode_chunk_record(
+            7,
+            1,
+            &ChunkData::Binary(vec![0xAB, 0x00, 0xCD]),
+        ))
+        .unwrap();
         w.write_encoded(&encode_seal_record(7, 2, 0xDEAD_BEEF, "streamed"))
             .unwrap();
         w.commit().unwrap();
@@ -584,7 +697,7 @@ mod tests {
             WalEntry::Chunk(ChunkRecord {
                 session: 7,
                 seq: 0,
-                payload: "{\"threads\":[]}".to_string(),
+                payload: ChunkData::Json("{\"threads\":[]}".to_string()),
             })
         );
         assert!(matches!(&scan.entries[1], WalEntry::Profile(r) if r.label == "oneshot"));
@@ -598,6 +711,56 @@ mod tests {
                 label: "streamed".to_string(),
             })
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_profile_records_round_trip() {
+        let dir = tmp("binprofile");
+        let path = wal_path(&dir);
+        let mut w = WalWriter::open_after(&path, 0, false).unwrap();
+        let bytes = vec![0x4E, 0x50, 0x43, 0x42, 0xFF, 0x00]; // opaque to the WAL
+        w.write_encoded(&encode_bin_record("bin-run", &bytes, 0xFEED_FACE, 4242))
+            .unwrap();
+        w.commit().unwrap();
+        let scan = scan_file(&path, WAL_MAGIC).unwrap();
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(
+            scan.entries,
+            vec![WalEntry::ProfileBin(BinProfileRecord {
+                label: "bin-run".to_string(),
+                content_hash: 0xFEED_FACE,
+                json_len: 4242,
+                bytes,
+            })]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn older_version_headers_still_scan() {
+        let dir = tmp("oldversion");
+        let path = wal_path(&dir);
+        // A v2-era file: old header version, records of the old kinds.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&[0, 0]);
+        let json = "{\"k\":1}";
+        bytes.extend_from_slice(&encode_record("legacy", json, fnv1a(json.as_bytes())));
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_file(&path, WAL_MAGIC).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert!(matches!(&scan.entries[0], WalEntry::Profile(r) if r.label == "legacy"));
+        // Version 0 and versions from the future are not readable.
+        for bad in [0u16, PERSIST_VERSION + 1] {
+            bytes[4..6].copy_from_slice(&bad.to_be_bytes());
+            std::fs::write(&path, &bytes).unwrap();
+            let scan = scan_file(&path, WAL_MAGIC).unwrap();
+            assert!(scan.entries.is_empty(), "version {bad} must not scan");
+            assert_eq!(scan.valid_len, 0);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,236 @@
+//! Cross-format store behavior: binary-codec ingestion dedups against
+//! JSON ingestion of the same content, JSON-era (persist v1/v2) data
+//! directories replay under the binary build, and `ingest_dir` keeps
+//! non-UTF-8 file names distinguishable.
+
+use numa_machine::{Machine, MachinePreset, PlacementPolicy};
+use numa_profiler::{finish_profile, NumaProfile, NumaProfiler, ProfilerConfig};
+use numa_sampling::{MechanismConfig, MechanismKind};
+use numa_sim::{ExecMode, Program};
+use numa_store::wal::{scan_file, wal_path, WalEntry, SNAPSHOT_MAGIC, WAL_MAGIC};
+use numa_store::{fnv1a, PersistOptions, ProfileStore, StoreError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+fn profile(rounds: usize) -> NumaProfile {
+    let machine = Machine::from_preset(MachinePreset::AmdMagnyCours);
+    let config = ProfilerConfig::new(MechanismConfig::for_tests(MechanismKind::Ibs, 8));
+    let profiler = std::sync::Arc::new(NumaProfiler::new(machine.clone(), config, 4));
+    let mut p = Program::new(machine, 4, ExecMode::Sequential, profiler.clone());
+    let size = 1u64 << 18;
+    let mut base = 0;
+    p.serial("main", |ctx| {
+        base = ctx.alloc("q", size, PlacementPolicy::FirstTouch);
+        ctx.store_range(base, size / 64, 64);
+    });
+    for _ in 0..rounds {
+        p.parallel("kernel._omp", |tid, ctx| {
+            let chunk = size / 4;
+            ctx.load_range(base + tid as u64 * chunk, chunk / 64, 64);
+        });
+    }
+    finish_profile(p, profiler)
+}
+
+/// Canonical JSON of three distinct profiles, generated once per test
+/// process (sampling is interval-randomized, so regenerating would not
+/// reproduce the same content).
+fn corpus() -> &'static [String; 3] {
+    static CORPUS: OnceLock<[String; 3]> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        [
+            profile(1).to_json(),
+            profile(2).to_json(),
+            profile(3).to_json(),
+        ]
+    })
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "numa-fmt-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn open(dir: &Path) -> ProfileStore {
+    ProfileStore::open_durable(dir, 16, PersistOptions::default()).expect("open durable store")
+}
+
+#[test]
+fn binary_ingest_dedups_with_json_and_shares_one_id() {
+    let store = ProfileStore::new();
+    let p = NumaProfile::from_json(&corpus()[0]).unwrap();
+    let bytes = numa_codec::encode_profile(&p);
+
+    let (json_id, added) = store.ingest_bytes("as-json", &corpus()[0]).unwrap();
+    assert!(added);
+    // The same content arriving as codec bytes is the same profile:
+    // identity stays defined over the canonical JSON.
+    let (bin_id, added) = store.ingest_binary("as-binary", &bytes).unwrap();
+    assert!(!added);
+    assert_eq!(json_id, bin_id);
+    assert_eq!(store.len(), 1);
+
+    // Queries against a binary-only ingest answer identically to the
+    // JSON ingest of the same profile (the engine consumes the decoded
+    // scalar columns).
+    let fresh = ProfileStore::new();
+    let (id2, added) = fresh.ingest_binary("bin-only", &bytes).unwrap();
+    assert!(added);
+    assert_eq!(id2, json_id);
+    assert_eq!(
+        fresh.aggregate().unwrap().text(),
+        store.aggregate().unwrap().text()
+    );
+}
+
+#[test]
+fn binary_ingest_rejects_garbage_with_typed_parse_error() {
+    let store = ProfileStore::new();
+    let err = store.ingest_binary("junk", b"not a container").unwrap_err();
+    assert!(
+        matches!(&err, StoreError::Parse { label, .. } if label == "junk"),
+        "{err:?}"
+    );
+    assert_eq!(store.len(), 0);
+    assert_eq!(store.stats().parse_failures, 1);
+}
+
+#[test]
+fn binary_ingests_replay_across_reopen() {
+    let dir = scratch("bin-reopen");
+    let oracle = ProfileStore::new();
+    for (i, json) in corpus().iter().enumerate() {
+        oracle.ingest_bytes(&format!("run-{i}"), json).unwrap();
+    }
+    {
+        let store = open(&dir);
+        for (i, json) in corpus().iter().enumerate() {
+            let p = NumaProfile::from_json(json).unwrap();
+            let bytes = numa_codec::encode_profile(&p);
+            store.ingest_binary(&format!("run-{i}"), &bytes).unwrap();
+        }
+        assert_eq!(store.set_hash(), oracle.set_hash());
+        // No flush: replay must come from binary WAL records.
+    }
+    let store = open(&dir);
+    assert_eq!(store.len(), 3);
+    assert_eq!(store.set_hash(), oracle.set_hash());
+    assert_eq!(&*store.resolve("run-2").unwrap().label, "run-2");
+    assert_eq!(
+        store.aggregate().unwrap().text(),
+        oracle.aggregate().unwrap().text()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_era_data_dir_replays_and_compacts_forward() {
+    let dir = scratch("v2-era");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Hand-write a persist-v2 WAL: old header version, JSON records —
+    // exactly what a pre-binary build left behind.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&WAL_MAGIC);
+    bytes.extend_from_slice(&2u16.to_be_bytes());
+    bytes.extend_from_slice(&[0, 0]);
+    for (i, json) in corpus().iter().enumerate().take(2) {
+        bytes.extend_from_slice(&numa_store::wal::encode_record(
+            &format!("legacy-{i}"),
+            json,
+            fnv1a(json.as_bytes()),
+        ));
+    }
+    std::fs::write(wal_path(&dir), &bytes).unwrap();
+
+    let oracle = ProfileStore::new();
+    for (i, json) in corpus().iter().enumerate().take(2) {
+        oracle.ingest_bytes(&format!("legacy-{i}"), json).unwrap();
+    }
+
+    {
+        let store = open(&dir);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.set_hash(), oracle.set_hash());
+        let p = store.persist_stats();
+        assert_eq!(p.wal_records_replayed, 2);
+        assert_eq!(p.wal_truncated_bytes, 0);
+        // New ingests append v3 records to the v2-header file; the
+        // record kinds are self-describing, so the mix replays.
+        store.ingest_bytes("fresh", &corpus()[2]).unwrap();
+        oracle.ingest_bytes("fresh", &corpus()[2]).unwrap();
+    }
+    {
+        let store = open(&dir);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.set_hash(), oracle.set_hash());
+        // Compaction rewrites the whole corpus forward as binary
+        // snapshot rows.
+        store.flush().unwrap();
+    }
+    let snap = scan_file(&numa_store::snapshot::snapshot_path(&dir), SNAPSHOT_MAGIC).unwrap();
+    assert_eq!(snap.entries.len(), 3);
+    assert!(snap
+        .entries
+        .iter()
+        .all(|e| matches!(e, WalEntry::ProfileBin(_))));
+    let store = open(&dir);
+    assert_eq!(store.len(), 3);
+    assert_eq!(store.set_hash(), oracle.set_hash());
+    assert_eq!(store.persist_stats().snapshot_records_loaded, 3);
+    assert_eq!(
+        store.aggregate().unwrap().text(),
+        oracle.aggregate().unwrap().text()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn ingest_dir_disambiguates_non_utf8_labels() {
+    use std::ffi::OsStr;
+    use std::os::unix::ffi::OsStrExt;
+
+    let dir = scratch("nonutf8");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Two distinct non-UTF-8 names whose lossy conversion collides on
+    // "run-\u{FFFD}.json".
+    let name_a = OsStr::from_bytes(b"run-\xFF.json");
+    let name_b = OsStr::from_bytes(b"run-\xFE.json");
+    std::fs::write(dir.join(name_a), &corpus()[0]).unwrap();
+    std::fs::write(dir.join(name_b), &corpus()[1]).unwrap();
+
+    let store = ProfileStore::new();
+    let report = store.ingest_dir(&dir).unwrap();
+    assert_eq!(report.added.len(), 2, "{report:?}");
+    assert!(report.rejected.is_empty() && report.io_errors.is_empty());
+
+    let labels: Vec<String> = store
+        .entries()
+        .iter()
+        .map(|e| e.label.to_string())
+        .collect();
+    assert_eq!(labels.len(), 2);
+    // The labels must differ — the raw-name hash suffix disambiguates
+    // what lossy conversion collapsed.
+    assert_ne!(labels[0], labels[1]);
+    for label in &labels {
+        assert!(
+            label.starts_with("run-\u{FFFD}.json#"),
+            "unexpected label {label:?}"
+        );
+        // Each label resolves to exactly one profile (no ambiguity).
+        store.resolve(label).unwrap();
+    }
+    // A plain UTF-8 name keeps its unsuffixed label.
+    std::fs::write(dir.join("plain.json"), &corpus()[2]).unwrap();
+    store.ingest_dir(&dir).unwrap();
+    assert_eq!(&*store.resolve("plain.json").unwrap().label, "plain.json");
+    std::fs::remove_dir_all(&dir).ok();
+}

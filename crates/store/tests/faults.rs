@@ -70,6 +70,20 @@ fn corpus() -> &'static [String; 4] {
     })
 }
 
+/// The same corpus as codec bytes: binary ops in a schedule ingest
+/// content-identical profiles, so the JSON oracle stays exact.
+fn bin_corpus() -> &'static [Vec<u8>; 4] {
+    static BIN: OnceLock<[Vec<u8>; 4]> = OnceLock::new();
+    BIN.get_or_init(|| {
+        corpus()
+            .iter()
+            .map(|json| numa_codec::encode_profile(&NumaProfile::from_json(json).unwrap()))
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap()
+    })
+}
+
 /// Fresh scratch dir per call, unique across tests and matrix cases.
 fn scratch(tag: &str) -> PathBuf {
     static SEQ: AtomicU64 = AtomicU64::new(0);
@@ -99,13 +113,15 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// One step of a seeded workload.
+/// One step of a seeded workload. `bin` selects the binary codec path
+/// (binary WAL records / binary chunk staging) so the matrix exercises
+/// both persisted formats — and their mixtures — under faults.
 #[derive(Clone, Copy, Debug)]
 enum PlannedOp {
     /// One-shot ingest of `corpus()[idx]`.
-    Ingest(usize),
+    Ingest { idx: usize, bin: bool },
     /// Stream `corpus()[idx]` as `parts` chunks, then seal.
-    Stream { idx: usize, parts: usize },
+    Stream { idx: usize, parts: usize, bin: bool },
     /// Explicit flush: group commit + snapshot compaction.
     Flush,
 }
@@ -114,10 +130,14 @@ fn plan_ops(rng: &mut u64) -> Vec<PlannedOp> {
     let n = 4 + (splitmix64(rng) % 5) as usize;
     (0..n)
         .map(|_| match splitmix64(rng) % 8 {
-            0..=2 => PlannedOp::Ingest((splitmix64(rng) % 4) as usize),
+            0..=2 => PlannedOp::Ingest {
+                idx: (splitmix64(rng) % 4) as usize,
+                bin: splitmix64(rng).is_multiple_of(2),
+            },
             3..=5 => PlannedOp::Stream {
                 idx: (splitmix64(rng) % 4) as usize,
                 parts: 1 + (splitmix64(rng) % 3) as usize,
+                bin: splitmix64(rng).is_multiple_of(2),
             },
             _ => PlannedOp::Flush,
         })
@@ -164,19 +184,30 @@ fn run_schedule(seed: u64) {
             }
             let label = format!("op-{i}");
             match *op {
-                PlannedOp::Ingest(idx) => {
-                    if store.ingest_bytes(&label, &corpus()[idx]).is_ok() {
+                PlannedOp::Ingest { idx, bin } => {
+                    let acked = if bin {
+                        store.ingest_binary(&label, &bin_corpus()[idx]).is_ok()
+                    } else {
+                        store.ingest_bytes(&label, &corpus()[idx]).is_ok()
+                    };
+                    if acked {
                         oracle.ingest_bytes(&label, &corpus()[idx]).unwrap();
                     }
                 }
-                PlannedOp::Stream { idx, parts } => {
+                PlannedOp::Stream { idx, parts, bin } => {
                     session += 1;
                     let p = NumaProfile::from_json(&corpus()[idx]).unwrap();
                     let chunks: Vec<ChunkPayload> = split_profile(&p, parts);
                     let staged = chunks.iter().enumerate().all(|(seq, chunk)| {
-                        store
-                            .stage_chunk(session, seq as u64, &chunk.to_json())
-                            .is_ok()
+                        if bin {
+                            store
+                                .stage_chunk_binary(session, seq as u64, &chunk.to_binary())
+                                .is_ok()
+                        } else {
+                            store
+                                .stage_chunk(session, seq as u64, &chunk.to_json())
+                                .is_ok()
+                        }
                     });
                     if !staged {
                         // A client whose chunk was refused gives up; the
