@@ -25,7 +25,7 @@ use numa_tools::{die, Args};
 use std::time::Duration;
 
 const USAGE: &str = "\
-usage: hpcd-client --addr HOST:PORT --cmd ping|ingest|stream|list|resolve|aggregate|top|report|view|cct|diff|stats|server-stats|clear-cache|shutdown
+usage: hpcd-client --addr HOST:PORT --cmd ping|ingest|stream|list|resolve|aggregate|top|report|view|cct|diff|stats|server-stats|metrics|clear-cache|shutdown
                    [--file FILE]          (ingest/stream: profile JSON to send)
                    [--label NAME]         (ingest/stream: label; default = file name)
                    [--chunk-threads N]    (stream: threads per chunk; default 2)
@@ -199,6 +199,7 @@ fn main() {
         }
         "stats" => run(client.store_stats()),
         "server-stats" => run(client.server_stats()).render(),
+        "metrics" => run(client.metrics()),
         "clear-cache" => {
             run(client.clear_cache());
             "hpcd-client: cache cleared\n".to_string()

@@ -40,6 +40,8 @@ usage: hpcd-sim [--listen ADDR]          (default 127.0.0.1:7701; port 0 = ephem
                 [--session-lease-ms N]   (streaming-session lease; default 30000)
                 [--session-max-kib N]    (per-session buffer cap in KiB; default 65536)
                 [--max-sessions N]       (concurrent streaming sessions; default 64)
+                [--metrics-addr ADDR]    (serve GET /metrics as Prometheus text; port 0 = ephemeral)
+                [--slow-op-ms N]         (log requests slower than N ms; default 500)
                 [--fault-spec SPEC]      (testing: inject storage faults into the durable
                                           store, e.g. enospc=4096 or sync=2,rename=1;
                                           see numa-faults::FaultSpec::parse)";
@@ -62,6 +64,8 @@ fn main() {
         "session-lease-ms",
         "session-max-kib",
         "max-sessions",
+        "metrics-addr",
+        "slow-op-ms",
         "fault-spec",
     ])
     .unwrap_or_else(|e| die(USAGE, &e));
@@ -92,6 +96,11 @@ fn main() {
         ),
         write_timeout: Duration::from_millis(
             args.get_parsed("write-timeout-ms", 10_000)
+                .unwrap_or_else(|e| die(USAGE, &e)),
+        ),
+        metrics_addr: args.get("metrics-addr").map(|a| a.to_string()),
+        slow_op_threshold: Duration::from_millis(
+            args.get_parsed("slow-op-ms", 500)
                 .unwrap_or_else(|e| die(USAGE, &e)),
         ),
         live: {
@@ -198,6 +207,10 @@ fn main() {
     // The bound address goes to stdout so scripts can scrape the
     // ephemeral port from `--listen 127.0.0.1:0`.
     println!("hpcd-sim: listening on {}", server.local_addr());
+    // Same stdout contract for the scrape endpoint's ephemeral port.
+    if let Some(addr) = server.metrics_addr() {
+        println!("hpcd-sim: metrics on {addr}");
+    }
     eprintln!("hpcd-sim: serving (send the shutdown op to stop)");
 
     match server.run() {

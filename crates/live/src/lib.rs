@@ -29,6 +29,7 @@
 //! mid-stream, WAL replay recovers exactly the sealed sessions and
 //! drops unsealed ones (see `numa_store::wal`).
 
+use numa_obs::{Counter, Gauge, Registry};
 use numa_store::stream::{assemble, ChunkPayload};
 use numa_store::{ProfileId, ProfileStore};
 use parking_lot::Mutex;
@@ -260,12 +261,17 @@ pub struct SessionManager {
     /// chunk records in a recovered WAL can never be mistaken for a
     /// new session's.
     next_id: AtomicU64,
-    opened: AtomicU64,
-    sealed: AtomicU64,
-    aborted: AtomicU64,
-    reaped: AtomicU64,
-    chunks_appended: AtomicU64,
-    backpressure: AtomicU64,
+    opened: Counter,
+    sealed: Counter,
+    aborted: Counter,
+    reaped: Counter,
+    chunks_appended: Counter,
+    backpressure: Counter,
+    /// Mirrors of `Inner::{sessions.len(), open_bytes}`, updated inside
+    /// the same lock critical sections that mutate them — a scrape sees
+    /// gauges that exactly match the admission bookkeeping.
+    open_sessions_gauge: Gauge,
+    open_bytes_gauge: Gauge,
     stop_tx: Mutex<Option<mpsc::Sender<()>>>,
     janitor: Mutex<Option<JoinHandle<()>>>,
 }
@@ -287,12 +293,14 @@ impl SessionManager {
             config,
             inner: Mutex::new(Inner::default()),
             next_id: AtomicU64::new(seed),
-            opened: AtomicU64::new(0),
-            sealed: AtomicU64::new(0),
-            aborted: AtomicU64::new(0),
-            reaped: AtomicU64::new(0),
-            chunks_appended: AtomicU64::new(0),
-            backpressure: AtomicU64::new(0),
+            opened: Counter::new(),
+            sealed: Counter::new(),
+            aborted: Counter::new(),
+            reaped: Counter::new(),
+            chunks_appended: Counter::new(),
+            backpressure: Counter::new(),
+            open_sessions_gauge: Gauge::new(),
+            open_bytes_gauge: Gauge::new(),
             stop_tx: Mutex::new(Some(stop_tx)),
             janitor: Mutex::new(None),
         });
@@ -315,7 +323,7 @@ impl SessionManager {
             if inner.sessions.len() >= self.config.max_sessions {
                 let open = inner.sessions.len();
                 drop(inner);
-                self.backpressure.fetch_add(1, Ordering::Relaxed);
+                self.backpressure.inc();
                 return Err(SessionError::TooManySessions {
                     open,
                     max: self.config.max_sessions,
@@ -331,8 +339,9 @@ impl SessionManager {
                     deadline,
                 },
             );
+            self.open_sessions_gauge.inc();
         }
-        self.opened.fetch_add(1, Ordering::Relaxed);
+        self.opened.inc();
         Ok(SessionTicket {
             session,
             lease: self.config.lease,
@@ -416,7 +425,7 @@ impl SessionManager {
         };
         if let Err(e) = precheck {
             if e.is_backpressure() {
-                self.backpressure.fetch_add(1, Ordering::Relaxed);
+                self.backpressure.inc();
             }
             return Err(e);
         }
@@ -445,6 +454,7 @@ impl SessionManager {
             s.next_seq += 1;
             s.deadline = Instant::now() + self.config.lease;
             inner.open_bytes += len;
+            self.open_bytes_gauge.add(len as i64);
             inner.open_bytes
         };
         // Durable staging blocks on the group commit, so an acked chunk
@@ -460,6 +470,7 @@ impl SessionManager {
                     s.bytes -= len;
                     s.next_seq = seq;
                     inner.open_bytes -= len;
+                    self.open_bytes_gauge.sub(len as i64);
                 }
             }
             return Err(SessionError::NotDurable {
@@ -474,7 +485,7 @@ impl SessionManager {
             self.store.discard_session(session);
             return Err(SessionError::UnknownSession { session });
         }
-        self.chunks_appended.fetch_add(1, Ordering::Relaxed);
+        self.chunks_appended.inc();
         Ok(open_bytes)
     }
 
@@ -490,20 +501,22 @@ impl SessionManager {
                 .remove(&session)
                 .ok_or(SessionError::UnknownSession { session })?;
             inner.open_bytes -= s.bytes;
+            self.open_sessions_gauge.dec();
+            self.open_bytes_gauge.sub(s.bytes as i64);
             s
         };
         let chunks = s.next_seq;
         match assemble(s.chunks) {
             Ok(profile) => match self.store.commit_sealed(session, &s.label, profile) {
                 Ok((id, added)) => {
-                    self.sealed.fetch_add(1, Ordering::Relaxed);
+                    self.sealed.inc();
                     Ok(Sealed { id, added, chunks })
                 }
                 // The store already rolled the commit back and
                 // discarded the session's staged chunks; the client
                 // must re-stream.
                 Err(e) => {
-                    self.aborted.fetch_add(1, Ordering::Relaxed);
+                    self.aborted.inc();
                     Err(SessionError::NotDurable {
                         session,
                         message: e.to_string(),
@@ -512,7 +525,7 @@ impl SessionManager {
             },
             Err(e) => {
                 self.store.discard_session(session);
-                self.aborted.fetch_add(1, Ordering::Relaxed);
+                self.aborted.inc();
                 Err(SessionError::Incomplete {
                     session,
                     reason: e.to_string(),
@@ -531,9 +544,11 @@ impl SessionManager {
                 .remove(&session)
                 .ok_or(SessionError::UnknownSession { session })?;
             inner.open_bytes -= s.bytes;
+            self.open_sessions_gauge.dec();
+            self.open_bytes_gauge.sub(s.bytes as i64);
         }
         self.store.discard_session(session);
-        self.aborted.fetch_add(1, Ordering::Relaxed);
+        self.aborted.inc();
         Ok(())
     }
 
@@ -552,6 +567,8 @@ impl SessionManager {
             for id in &ids {
                 if let Some(s) = inner.sessions.remove(id) {
                     inner.open_bytes -= s.bytes;
+                    self.open_sessions_gauge.dec();
+                    self.open_bytes_gauge.sub(s.bytes as i64);
                 }
             }
             ids
@@ -559,7 +576,7 @@ impl SessionManager {
         for id in &dead {
             self.store.discard_session(*id);
         }
-        self.reaped.fetch_add(dead.len() as u64, Ordering::Relaxed);
+        self.reaped.add(dead.len() as u64);
         dead.len()
     }
 
@@ -572,13 +589,68 @@ impl SessionManager {
         LiveStats {
             open_sessions,
             open_bytes,
-            opened: self.opened.load(Ordering::Relaxed),
-            sealed: self.sealed.load(Ordering::Relaxed),
-            aborted: self.aborted.load(Ordering::Relaxed),
-            reaped: self.reaped.load(Ordering::Relaxed),
-            chunks_appended: self.chunks_appended.load(Ordering::Relaxed),
-            backpressure_rejections: self.backpressure.load(Ordering::Relaxed),
+            opened: self.opened.get(),
+            sealed: self.sealed.get(),
+            aborted: self.aborted.get(),
+            reaped: self.reaped.get(),
+            chunks_appended: self.chunks_appended.get(),
+            backpressure_rejections: self.backpressure.get(),
         }
+    }
+
+    /// Adopt every live-ingestion counter and gauge into `registry`
+    /// under the `numa_live_` prefix. The gauges are the same handles
+    /// the session paths update under the manager's lock, so a scrape
+    /// always sees values consistent with admission decisions.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.counter(
+            "numa_live_sessions_opened_total",
+            "Streaming sessions opened.",
+            &[],
+            self.opened.clone(),
+        );
+        registry.counter(
+            "numa_live_sessions_sealed_total",
+            "Streaming sessions sealed into the store.",
+            &[],
+            self.sealed.clone(),
+        );
+        registry.counter(
+            "numa_live_sessions_aborted_total",
+            "Streaming sessions aborted (client abort, failed seal).",
+            &[],
+            self.aborted.clone(),
+        );
+        registry.counter(
+            "numa_live_sessions_reaped_total",
+            "Expired leases reclaimed by the janitor.",
+            &[],
+            self.reaped.clone(),
+        );
+        registry.counter(
+            "numa_live_chunks_appended_total",
+            "Chunks accepted across all sessions.",
+            &[],
+            self.chunks_appended.clone(),
+        );
+        registry.counter(
+            "numa_live_backpressure_rejections_total",
+            "Opens/appends rejected for capacity.",
+            &[],
+            self.backpressure.clone(),
+        );
+        registry.gauge(
+            "numa_live_open_sessions",
+            "Sessions open right now.",
+            &[],
+            self.open_sessions_gauge.clone(),
+        );
+        registry.gauge(
+            "numa_live_open_bytes",
+            "Bytes buffered across open sessions right now.",
+            &[],
+            self.open_bytes_gauge.clone(),
+        );
     }
 
     /// The configuration this manager was built with.

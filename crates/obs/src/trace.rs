@@ -1,0 +1,247 @@
+//! Per-request structured spans.
+//!
+//! The serving layer opens a trace around each request
+//! ([`begin`] / [`take`]); lower layers deposit facts into the active
+//! trace through the thread-local note functions ([`note_shard`],
+//! [`note_cache`], [`note_wal_ack_us`]) without any context argument
+//! threading. The finished [`Span`] goes into a bounded [`SpanRing`];
+//! spans slower than a configurable threshold are additionally kept in
+//! a slow-op ring so a burst of fast requests cannot evict the
+//! interesting evidence.
+//!
+//! Notes are no-ops when no trace is active on the thread, so
+//! instrumented code in the store costs one thread-local flag check
+//! when called outside a traced request (recovery, tests, in-process
+//! embedding).
+
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::VecDeque;
+
+/// One finished request span. `seq` is assigned by the ring and is
+/// strictly monotonic in ring order.
+#[derive(Clone, Debug)]
+pub struct Span {
+    pub seq: u64,
+    /// Wire op name (static: the daemon's op table).
+    pub op: &'static str,
+    /// Request payload size in bytes.
+    pub bytes: u64,
+    /// Store shard the request touched, if any.
+    pub shard: Option<u32>,
+    /// Memo-cache outcome, if the request consulted the cache.
+    pub cache_hit: Option<bool>,
+    /// Time spent blocked on the WAL ack, if the request staged data.
+    pub wal_ack_us: Option<u64>,
+    /// End-to-end service time.
+    pub total_us: u64,
+    /// Whether the request was answered with a typed error.
+    pub error: bool,
+}
+
+/// Everything of a [`Span`] except the ring-assigned sequence number.
+#[derive(Clone, Debug)]
+pub struct SpanBody {
+    pub op: &'static str,
+    pub bytes: u64,
+    pub shard: Option<u32>,
+    pub cache_hit: Option<bool>,
+    pub wal_ack_us: Option<u64>,
+    pub total_us: u64,
+    pub error: bool,
+}
+
+/// A bounded ring of recent spans. Pushes assign strictly monotonic
+/// sequence numbers under the same lock that orders the ring, so a
+/// reader always sees whole spans (never torn fields) in strictly
+/// increasing `seq` order, and memory stays capped at `capacity`
+/// spans.
+pub struct SpanRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+struct RingInner {
+    spans: VecDeque<Span>,
+    next_seq: u64,
+}
+
+impl SpanRing {
+    pub fn new(capacity: usize) -> SpanRing {
+        SpanRing {
+            inner: Mutex::new(RingInner {
+                spans: VecDeque::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+            }),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append a span, evicting the oldest when full. Returns the
+    /// assigned sequence number. With capacity 0 the ring only hands
+    /// out sequence numbers.
+    pub fn push(&self, body: SpanBody) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if self.capacity == 0 {
+            return seq;
+        }
+        if inner.spans.len() == self.capacity {
+            inner.spans.pop_front();
+        }
+        inner.spans.push_back(Span {
+            seq,
+            op: body.op,
+            bytes: body.bytes,
+            shard: body.shard,
+            cache_hit: body.cache_hit,
+            wal_ack_us: body.wal_ack_us,
+            total_us: body.total_us,
+            error: body.error,
+        });
+        seq
+    }
+
+    /// Retain an already-sequenced span (the slow-op log keeps the
+    /// trace-assigned `seq` so a slow span can be correlated with the
+    /// main ring). Evicts the oldest when full; a no-op at capacity 0.
+    pub fn retain(&self, span: Span) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.spans.len() == self.capacity {
+            inner.spans.pop_front();
+        }
+        inner.spans.push_back(span);
+    }
+
+    /// Total spans ever pushed (sequence numbers handed out).
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// The most recent `n` spans, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Span> {
+        let inner = self.inner.lock();
+        let skip = inner.spans.len().saturating_sub(n);
+        inner.spans.iter().skip(skip).cloned().collect()
+    }
+}
+
+/// Facts lower layers deposited into the active trace.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Notes {
+    pub shard: Option<u32>,
+    pub cache_hit: Option<bool>,
+    pub wal_ack_us: Option<u64>,
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static NOTES: Cell<Notes> = const { Cell::new(Notes { shard: None, cache_hit: None, wal_ack_us: None }) };
+}
+
+/// Open a trace on this thread, clearing any stale notes.
+pub fn begin() {
+    NOTES.with(|n| n.set(Notes::default()));
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Close the trace and return the accumulated notes.
+pub fn take() -> Notes {
+    ACTIVE.with(|a| a.set(false));
+    NOTES.with(|n| n.replace(Notes::default()))
+}
+
+#[inline]
+fn with_active(f: impl FnOnce(&mut Notes)) {
+    if ACTIVE.with(|a| a.get()) {
+        NOTES.with(|n| {
+            let mut notes = n.get();
+            f(&mut notes);
+            n.set(notes);
+        });
+    }
+}
+
+/// Record which store shard the request touched.
+#[inline]
+pub fn note_shard(shard: u32) {
+    with_active(|n| n.shard = Some(shard));
+}
+
+/// Record a memo-cache hit (`true`) or miss (`false`).
+#[inline]
+pub fn note_cache(hit: bool) {
+    with_active(|n| n.cache_hit = Some(hit));
+}
+
+/// Accumulate time spent blocked on a WAL ack (requests that stage
+/// multiple records sum their waits).
+#[inline]
+pub fn note_wal_ack_us(us: u64) {
+    with_active(|n| n.wal_ack_us = Some(n.wal_ack_us.unwrap_or(0) + us));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(op: &'static str, total_us: u64) -> SpanBody {
+        SpanBody {
+            op,
+            bytes: 0,
+            shard: None,
+            cache_hit: None,
+            wal_ack_us: None,
+            total_us,
+            error: false,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_monotonic_seq() {
+        let ring = SpanRing::new(3);
+        for i in 0..5 {
+            let seq = ring.push(body("ping", i));
+            assert_eq!(seq, i);
+        }
+        let recent = ring.recent(10);
+        assert_eq!(recent.len(), 3);
+        let seqs: Vec<u64> = recent.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(ring.pushed(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_ring_only_counts() {
+        let ring = SpanRing::new(0);
+        assert_eq!(ring.push(body("ping", 1)), 0);
+        assert_eq!(ring.push(body("ping", 1)), 1);
+        assert!(ring.recent(10).is_empty());
+    }
+
+    #[test]
+    fn notes_only_stick_while_a_trace_is_active() {
+        note_shard(9); // no trace: dropped
+        begin();
+        note_shard(3);
+        note_cache(true);
+        note_wal_ack_us(10);
+        note_wal_ack_us(5);
+        let notes = take();
+        assert_eq!(notes.shard, Some(3));
+        assert_eq!(notes.cache_hit, Some(true));
+        assert_eq!(notes.wal_ack_us, Some(15));
+        // Closed: further notes are dropped and the next begin() is clean.
+        note_cache(false);
+        begin();
+        assert_eq!(take().cache_hit, None);
+    }
+}

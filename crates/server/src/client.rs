@@ -327,6 +327,13 @@ impl Client {
         }
     }
 
+    /// Prometheus text exposition of every daemon metric — the same
+    /// text `GET /metrics` serves. Requires a daemon advertising
+    /// [`caps::METRICS`]; older daemons answer a typed `Unsupported`.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.text(&Request::Metrics)
+    }
+
     pub fn clear_cache(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::ClearCache)? {
             Response::CacheCleared => Ok(()),

@@ -1,0 +1,87 @@
+//! Minimal embedded HTTP/1.1 responder for `GET /metrics`.
+//!
+//! Just enough HTTP for a Prometheus scraper or `curl`: parse the
+//! request line, answer `GET /metrics` with the registry's text
+//! exposition, 404 anything else, 405 non-GET methods. One short-lived
+//! thread per connection (scrapes are rare and trusted — this listens
+//! where the operator pointed `--metrics-addr`, typically loopback);
+//! the accept loop is non-blocking so it can observe the daemon's
+//! shutdown flag.
+
+use numa_obs::Registry;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Content type of the Prometheus text exposition format.
+const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Bind the metrics listener (port 0 for ephemeral) without serving.
+pub fn bind(addr: &str) -> io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    Ok((listener, addr))
+}
+
+/// Serve scrapes until `shutdown` flips. Blocks; callers spawn this on
+/// its own thread.
+pub fn serve(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<AtomicBool>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let registry = Arc::clone(&registry);
+                // Scrape handling off the accept loop so one slow
+                // reader cannot block the next scraper.
+                let _ = std::thread::Builder::new()
+                    .name("hpcd-metrics".to_string())
+                    .spawn(move || answer(stream, &registry));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn answer(stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers so the peer's write buffer is not left full
+    // when we answer (politeness; we never need the header values).
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = match (method, path) {
+        ("GET", "/metrics") => ("200 OK", registry.render()),
+        ("GET", _) => ("404 Not Found", "not found; try /metrics\n".to_string()),
+        _ => ("405 Method Not Allowed", "only GET is served\n".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}

@@ -32,6 +32,7 @@
 //! `numa-tools` crate next to the other `hpc*-sim` binaries.
 
 pub mod client;
+pub mod http;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -40,6 +41,6 @@ pub use client::{Client, ClientError, SessionInfo};
 pub use numa_live::LiveConfig;
 pub use protocol::{
     caps, FrameDecoder, FrameError, ProfileEntry, RecvError, ReportFormat, Request, Response,
-    ServerStatsReport, WireError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    ServerStatsReport, SlowOpRow, WireError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -68,9 +68,15 @@ pub mod caps {
     /// the daemon serves it unchanged.
     pub const BINARY_CODEC: u16 = 1 << 1;
 
+    /// The `Metrics` op: Prometheus text exposition of every daemon
+    /// counter over the wire. A daemon predating the metrics registry
+    /// answers the op with a typed `Unsupported` instead of a closed
+    /// connection.
+    pub const METRICS: u16 = 1 << 2;
+
     /// Every capability this build implements; response frames carry
     /// this set.
-    pub const SUPPORTED: u16 = STREAMING | BINARY_CODEC;
+    pub const SUPPORTED: u16 = STREAMING | BINARY_CODEC | METRICS;
 
     /// Render a capability set for display (`ping` output, errors).
     pub fn render(flags: u16) -> String {
@@ -80,6 +86,9 @@ pub mod caps {
         }
         if flags & BINARY_CODEC != 0 {
             names.push("binary-codec");
+        }
+        if flags & METRICS != 0 {
+            names.push("metrics");
         }
         let unknown = flags & !SUPPORTED;
         if unknown != 0 {
@@ -398,6 +407,9 @@ pub enum Request {
     StoreStats,
     /// Daemon observability: per-op counters + latency percentiles.
     ServerStats,
+    /// Prometheus text exposition of every registered metric (requires
+    /// [`caps::METRICS`]); the same text `GET /metrics` serves.
+    Metrics,
     /// Drop every memoized artifact (admin; used to measure cold paths).
     ClearCache,
     /// Ask the daemon to drain and exit (admin).
@@ -448,6 +460,7 @@ impl Request {
             Request::Diff { .. } => "diff",
             Request::StoreStats => "store-stats",
             Request::ServerStats => "server-stats",
+            Request::Metrics => "metrics",
             Request::ClearCache => "clear-cache",
             Request::Shutdown => "shutdown",
             Request::OpenSession { .. } => "open-session",
@@ -470,6 +483,7 @@ impl Request {
             | Request::AbortSession { .. } => caps::STREAMING,
             Request::IngestBinary { .. } => caps::BINARY_CODEC,
             Request::AppendChunkBinary { .. } => caps::STREAMING | caps::BINARY_CODEC,
+            Request::Metrics => caps::METRICS,
             _ => 0,
         }
     }
@@ -517,6 +531,29 @@ pub struct ShardStatRow {
     pub read_contended: u64,
     /// Shelf write-lock acquisitions that had to block.
     pub write_contended: u64,
+}
+
+/// One retained slow-op span in a `ServerStats` response: a request
+/// whose total service time crossed the daemon's `--slow-op-ms`
+/// threshold, with the structured facts its trace collected.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SlowOpRow {
+    /// Trace sequence number (strictly monotonic per daemon).
+    pub seq: u64,
+    pub op: String,
+    /// Request payload size in bytes.
+    pub bytes: u64,
+    /// Store shard the request touched, if any.
+    pub shard: Option<u32>,
+    /// Memo-cache outcome, if the request consulted the cache.
+    pub cache_hit: Option<bool>,
+    /// Microseconds spent blocked on the WAL ack, if the request
+    /// staged data.
+    pub wal_ack_us: Option<u64>,
+    /// End-to-end service time in microseconds.
+    pub total_us: u64,
+    /// Whether the request drew a typed error.
+    pub error: bool,
 }
 
 /// The `server-stats` payload: request observability plus the store's
@@ -603,6 +640,10 @@ pub struct ServerStatsReport {
     /// Startup recovery: chunk records replayed from the WAL.
     #[serde(default)]
     pub session_chunks_replayed: u64,
+    /// Recent requests that crossed the slow-op threshold, oldest
+    /// first (empty when talking to a daemon predating tracing).
+    #[serde(default)]
+    pub recent_slow_ops: Vec<SlowOpRow>,
 }
 
 impl ServerStatsReport {
@@ -677,6 +718,32 @@ impl ServerStatsReport {
                 "  op {:<14} {:>8} request(s) {:>6} error(s)\n",
                 op.op, op.requests, op.errors
             ));
+        }
+        if !self.recent_slow_ops.is_empty() {
+            out.push_str("recent slow ops:\n");
+            for s in &self.recent_slow_ops {
+                out.push_str(&format!(
+                    "  #{} {:<14} {:>8} µs, {} byte(s){}{}{}{}\n",
+                    s.seq,
+                    s.op,
+                    s.total_us,
+                    s.bytes,
+                    match s.shard {
+                        Some(sh) => format!(", shard {sh}"),
+                        None => String::new(),
+                    },
+                    match s.cache_hit {
+                        Some(true) => ", cache hit",
+                        Some(false) => ", cache miss",
+                        None => "",
+                    },
+                    match s.wal_ack_us {
+                        Some(us) => format!(", wal ack {us} µs"),
+                        None => String::new(),
+                    },
+                    if s.error { ", error" } else { "" },
+                ));
+            }
         }
         out
     }

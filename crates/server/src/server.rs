@@ -23,13 +23,16 @@
 //! `run` joins every worker before returning, so when it returns no
 //! request is left unanswered.
 
+use crate::http;
 use crate::metrics::{Metrics, OpSlot};
 use crate::protocol::{
     caps, decode_request, encode_response, read_frame, write_frame_flags, FrameError, ProfileEntry,
-    RecvError, ReportFormat, Request, Response, ServerStatsReport, ShardStatRow, WireError,
-    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    RecvError, ReportFormat, Request, Response, ServerStatsReport, ShardStatRow, SlowOpRow,
+    WireError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use numa_live::{LiveConfig, SessionError, SessionManager};
+use numa_obs::trace::{Span, SpanBody};
+use numa_obs::{trace, Registry, SpanRing};
 use numa_store::{ProfileStore, Query, StoreError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -60,6 +63,16 @@ pub struct ServerConfig {
     /// Streaming-session limits (lease, buffer budgets, janitor
     /// cadence).
     pub live: LiveConfig,
+    /// Where to serve `GET /metrics` (Prometheus text exposition);
+    /// `None` disables the embedded HTTP responder. Use port 0 for an
+    /// ephemeral port ([`Server::metrics_addr`] reports it).
+    pub metrics_addr: Option<String>,
+    /// Requests slower than this get a slow-op log line and their span
+    /// retained in the `server-stats` `recent-slow-ops` section.
+    pub slow_op_threshold: Duration,
+    /// Spans kept in the request-trace ring buffer. 0 disables span
+    /// capture entirely (used by the overhead A/B bench).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +85,9 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_millis(100),
             live: LiveConfig::default(),
+            metrics_addr: None,
+            slow_op_threshold: Duration::from_millis(500),
+            trace_capacity: 256,
         }
     }
 }
@@ -90,6 +106,12 @@ impl ShutdownHandle {
     }
 }
 
+/// Slow-op spans retained for `server-stats` (a burst of fast
+/// requests cannot evict them from the main trace ring).
+const SLOW_OP_CAPACITY: usize = 64;
+/// Slow-op rows reported per `server-stats` response.
+const SLOW_OPS_REPORTED: usize = 16;
+
 /// The bound daemon. [`Server::run`] blocks until shutdown.
 pub struct Server {
     listener: TcpListener,
@@ -97,6 +119,10 @@ pub struct Server {
     store: Arc<ProfileStore>,
     sessions: Arc<SessionManager>,
     metrics: Arc<Metrics>,
+    registry: Arc<Registry>,
+    trace: Arc<SpanRing>,
+    slow_ops: Arc<SpanRing>,
+    metrics_listener: Option<(TcpListener, SocketAddr)>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
     started: Instant,
@@ -104,7 +130,10 @@ pub struct Server {
 
 impl Server {
     /// Bind the listener (use port 0 for an ephemeral port) without
-    /// starting to serve.
+    /// starting to serve. Also binds the `--metrics-addr` HTTP
+    /// listener, if configured, and assembles the metric registry:
+    /// every server, store, and live counter is adopted here, so the
+    /// scrape and `server-stats` read the same storage.
     pub fn bind(
         addr: impl ToSocketAddrs,
         config: ServerConfig,
@@ -113,20 +142,53 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let sessions = SessionManager::new(Arc::clone(&store), config.live.clone());
+        let metrics = Arc::new(Metrics::new());
+        let started = Instant::now();
+
+        let registry = Arc::new(Registry::new());
+        metrics.register(&registry);
+        store.register_metrics(&registry);
+        sessions.register_metrics(&registry);
+        registry.gauge_fn(
+            "numa_server_uptime_seconds",
+            "Seconds since the daemon started.",
+            &[],
+            move || started.elapsed().as_secs().min(i64::MAX as u64) as i64,
+        );
+
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(http::bind(addr)?),
+            None => None,
+        };
+
         Ok(Server {
             listener,
             local_addr,
             store,
             sessions,
-            metrics: Arc::new(Metrics::new()),
+            metrics,
+            registry,
+            trace: Arc::new(SpanRing::new(config.trace_capacity)),
+            slow_ops: Arc::new(SpanRing::new(if config.trace_capacity == 0 {
+                0
+            } else {
+                SLOW_OP_CAPACITY
+            })),
+            metrics_listener,
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
-            started: Instant::now(),
+            started,
         })
     }
 
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Where `GET /metrics` is served, if `metrics_addr` was
+    /// configured (reports the real port when bound ephemerally).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().map(|(_, addr)| *addr)
     }
 
     pub fn shutdown_handle(&self) -> ShutdownHandle {
@@ -135,6 +197,11 @@ impl Server {
 
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The daemon's metric registry (everything `GET /metrics` serves).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Serve until shutdown, then drain and join every worker. Returns
@@ -148,6 +215,19 @@ impl Server {
             std::sync::mpsc::sync_channel::<TcpStream>(self.config.max_pending_connections.max(1));
         let rx = Arc::new(parking_lot::Mutex::new(rx));
 
+        let scraper = match self.metrics_listener {
+            Some((listener, _)) => {
+                let registry = Arc::clone(&self.registry);
+                let shutdown = Arc::clone(&self.shutdown);
+                Some(
+                    std::thread::Builder::new()
+                        .name("hpcd-metrics-http".to_string())
+                        .spawn(move || http::serve(listener, registry, shutdown))?,
+                )
+            }
+            None => None,
+        };
+
         let mut workers = Vec::with_capacity(self.config.workers.max(1));
         for i in 0..self.config.workers.max(1) {
             let ctx = WorkerCtx {
@@ -155,6 +235,9 @@ impl Server {
                 store: Arc::clone(&self.store),
                 sessions: Arc::clone(&self.sessions),
                 metrics: Arc::clone(&self.metrics),
+                registry: Arc::clone(&self.registry),
+                trace: Arc::clone(&self.trace),
+                slow_ops: Arc::clone(&self.slow_ops),
                 shutdown: Arc::clone(&self.shutdown),
                 config: self.config.clone(),
                 started: self.started,
@@ -204,6 +287,9 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(s) = scraper {
+            let _ = s.join();
+        }
         // Workers are gone, so no session op can race the janitor's
         // teardown; open sessions die with the daemon (their staged WAL
         // chunks are dropped as unsealed on the next replay).
@@ -212,6 +298,7 @@ impl Server {
             &self.metrics,
             &self.store,
             &self.sessions,
+            &self.slow_ops,
             self.started.elapsed(),
         ))
     }
@@ -222,6 +309,9 @@ struct WorkerCtx {
     store: Arc<ProfileStore>,
     sessions: Arc<SessionManager>,
     metrics: Arc<Metrics>,
+    registry: Arc<Registry>,
+    trace: Arc<SpanRing>,
+    slow_ops: Arc<SpanRing>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
     started: Instant,
@@ -266,6 +356,14 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
                     return;
                 }
                 let start = Instant::now();
+                // Open the thread-local trace so the store can deposit
+                // facts (shard, cache outcome, WAL-ack wait) into the
+                // span this request is building.
+                let tracing = ctx.config.trace_capacity > 0;
+                if tracing {
+                    trace::begin();
+                }
+                let payload_bytes = frame.payload.len() as u64;
                 let mut malformed = false;
                 let unknown_caps = frame.flags & !caps::SUPPORTED;
                 let (op, resp) = if unknown_caps != 0 {
@@ -310,7 +408,11 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
                 };
                 let is_error = matches!(resp, Response::Error(_));
                 let sent = send(&mut stream, &resp);
-                ctx.metrics.record_request(op, start.elapsed(), is_error);
+                let elapsed = start.elapsed();
+                ctx.metrics.record_request(op, elapsed, is_error);
+                if tracing {
+                    record_span(ctx, op, payload_bytes, is_error, elapsed);
+                }
                 if sent.is_err() || matches!(resp, Response::ShuttingDown) {
                     return;
                 }
@@ -343,6 +445,53 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
             }
             Err(_) => return, // reset / truncated: nothing to answer
         }
+    }
+}
+
+/// Close the request's trace, push its span into the ring, and — when
+/// it crossed the slow-op threshold — log a line and retain the span
+/// where fast requests cannot evict it.
+fn record_span(ctx: &WorkerCtx, op: OpSlot, bytes: u64, error: bool, elapsed: Duration) {
+    let notes = trace::take();
+    let total_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+    let seq = ctx.trace.push(SpanBody {
+        op: op.name(),
+        bytes,
+        shard: notes.shard,
+        cache_hit: notes.cache_hit,
+        wal_ack_us: notes.wal_ack_us,
+        total_us,
+        error,
+    });
+    if elapsed >= ctx.config.slow_op_threshold {
+        eprintln!(
+            "hpcd-sim: slow-op #{seq} {} {total_us} µs ({bytes} byte(s){}{}{}{})",
+            op.name(),
+            match notes.shard {
+                Some(s) => format!(", shard {s}"),
+                None => String::new(),
+            },
+            match notes.cache_hit {
+                Some(true) => ", cache hit",
+                Some(false) => ", cache miss",
+                None => "",
+            },
+            match notes.wal_ack_us {
+                Some(us) => format!(", wal ack {us} µs"),
+                None => String::new(),
+            },
+            if error { ", error" } else { "" },
+        );
+        ctx.slow_ops.retain(Span {
+            seq,
+            op: op.name(),
+            bytes,
+            shard: notes.shard,
+            cache_hit: notes.cache_hit,
+            wal_ack_us: notes.wal_ack_us,
+            total_us,
+            error,
+        });
     }
 }
 
@@ -461,8 +610,10 @@ fn execute_inner(ctx: &WorkerCtx, req: &Request) -> Response {
             &ctx.metrics,
             store,
             &ctx.sessions,
+            &ctx.slow_ops,
             ctx.started.elapsed(),
         ))),
+        Request::Metrics => Response::Text(ctx.registry.render()),
         Request::ClearCache => {
             store.clear_cache();
             Response::CacheCleared
@@ -617,11 +768,29 @@ fn snapshot_stats(
     metrics: &Metrics,
     store: &ProfileStore,
     sessions: &SessionManager,
+    slow_ops: &SpanRing,
     uptime: Duration,
 ) -> ServerStatsReport {
     let store_stats = store.stats();
     let persist = store_stats.persist;
     let live = sessions.stats();
+    // Slow spans arrive from racing workers; order the report by the
+    // trace sequence so "oldest first" holds for readers.
+    let mut recent_slow_ops: Vec<SlowOpRow> = slow_ops
+        .recent(SLOW_OPS_REPORTED)
+        .into_iter()
+        .map(|s| SlowOpRow {
+            seq: s.seq,
+            op: s.op.to_string(),
+            bytes: s.bytes,
+            shard: s.shard,
+            cache_hit: s.cache_hit,
+            wal_ack_us: s.wal_ack_us,
+            total_us: s.total_us,
+            error: s.error,
+        })
+        .collect();
+    recent_slow_ops.sort_by_key(|s| s.seq);
     ServerStatsReport {
         uptime_ms: uptime.as_millis().min(u64::MAX as u128) as u64,
         connections_accepted: metrics.connections_accepted_total(),
@@ -632,7 +801,7 @@ fn snapshot_stats(
         malformed_frames: metrics.malformed_total(),
         timeouts: metrics.timeouts_total(),
         per_op: metrics.per_op(),
-        latency: metrics.latency.summary(),
+        latency: metrics.latency_summary(),
         store_profiles: store_stats.profiles,
         store_set_hash: format!("{:016x}", store_stats.set_hash),
         cache_hits: store_stats.cache.hits,
@@ -670,5 +839,6 @@ fn snapshot_stats(
         sessions_recovered: persist.sessions_recovered,
         sessions_dropped: persist.sessions_dropped,
         session_chunks_replayed: persist.session_chunks_replayed,
+        recent_slow_ops,
     }
 }

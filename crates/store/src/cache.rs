@@ -8,10 +8,10 @@
 //! test). Hit/miss/insertion/eviction counters are atomic so concurrent
 //! readers do not contend on the shard locks just to account.
 
+use numa_obs::{trace, Counter, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of independently locked shards. A power of two so the shard
@@ -61,10 +61,10 @@ impl<K, V> Default for Shard<K, V> {
 pub struct MemoCache<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
     per_shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
 }
 
 impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
@@ -74,11 +74,40 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
         MemoCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity: capacity.div_ceil(SHARDS).max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            insertions: Counter::new(),
+            evictions: Counter::new(),
         }
+    }
+
+    /// Adopt the cache counters into `registry` under the
+    /// `numa_store_cache_` prefix (clones of the hot-path handles).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.counter(
+            "numa_store_cache_hits_total",
+            "Memo-cache lookups served from a resident artifact.",
+            &[],
+            self.hits.clone(),
+        );
+        registry.counter(
+            "numa_store_cache_misses_total",
+            "Memo-cache lookups that had to build the artifact.",
+            &[],
+            self.misses.clone(),
+        );
+        registry.counter(
+            "numa_store_cache_insertions_total",
+            "Artifacts inserted into the memo cache.",
+            &[],
+            self.insertions.clone(),
+        );
+        registry.counter(
+            "numa_store_cache_evictions_total",
+            "Artifacts evicted from the memo cache (LRU).",
+            &[],
+            self.evictions.clone(),
+        );
     }
 
     fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
@@ -103,11 +132,13 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
             let clock = s.clock;
             if let Some(e) = s.map.get_mut(&key) {
                 e.stamp = clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
+                trace::note_cache(true);
                 return Ok(Arc::clone(&e.value));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
+        trace::note_cache(false);
         let value = Arc::new(build()?);
         let mut s = shard.lock();
         s.clock += 1;
@@ -122,12 +153,12 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
                 .map(|(k, _)| k.clone())
             {
                 s.map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         let value_out = Arc::clone(&value);
         if s.map.insert(key, Entry { stamp, value }).is_none() {
-            self.insertions.fetch_add(1, Ordering::Relaxed);
+            self.insertions.inc();
         }
         Ok(value_out)
     }
@@ -150,10 +181,10 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
 
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
         }
     }
 }

@@ -46,6 +46,7 @@ pub use hash::{fnv1a, mix, ProfileId};
 
 use numa_analysis::{analyze, diff, full_text_report, render_cct, Analyzer};
 use numa_engine::{Engine, ThreadScalars};
+use numa_obs::{trace, Counter, Registry};
 use numa_profiler::{NumaProfile, RangeScope};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -318,9 +319,9 @@ struct Shelf {
 #[derive(Default)]
 struct Shard {
     shelf: RwLock<Shelf>,
-    ingests: AtomicU64,
-    read_contended: AtomicU64,
-    write_contended: AtomicU64,
+    ingests: Counter,
+    read_contended: Counter,
+    write_contended: Counter,
 }
 
 impl Shard {
@@ -330,7 +331,7 @@ impl Shard {
         match self.shelf.try_read() {
             Some(g) => g,
             None => {
-                self.read_contended.fetch_add(1, Ordering::Relaxed);
+                self.read_contended.inc();
                 self.shelf.read()
             }
         }
@@ -341,7 +342,7 @@ impl Shard {
         match self.shelf.try_write() {
             Some(g) => g,
             None => {
-                self.write_contended.fetch_add(1, Ordering::Relaxed);
+                self.write_contended.inc();
                 self.shelf.write()
             }
         }
@@ -488,8 +489,8 @@ pub struct ShardStats {
 pub struct ProfileStore {
     shards: Arc<ShardSet>,
     cache: MemoCache<(u64, Query), Artifact>,
-    dedup_hits: AtomicU64,
-    parse_failures: AtomicU64,
+    dedup_hits: Counter,
+    parse_failures: Counter,
     /// Group-commit persister; unset for in-memory stores. Ingest paths
     /// never hold a shelf lock while talking to it.
     persist: OnceLock<persist::Persister>,
@@ -553,8 +554,8 @@ impl ProfileStore {
         ProfileStore {
             shards: Arc::new(ShardSet::new(shards)),
             cache: MemoCache::new(config.cache_capacity),
-            dedup_hits: AtomicU64::new(0),
-            parse_failures: AtomicU64::new(0),
+            dedup_hits: Counter::new(),
+            parse_failures: Counter::new(),
             persist: OnceLock::new(),
             session_log: Arc::new(parking_lot::Mutex::new(HashMap::new())),
         }
@@ -811,7 +812,7 @@ impl ProfileStore {
                         let slot = shelf.profiles.len();
                         shelf.by_id.insert(sp.id, slot);
                         shelf.profiles.push((*seq, Arc::clone(sp)));
-                        shard.ingests.fetch_add(1, Ordering::Relaxed);
+                        shard.ingests.inc();
                     }
                 }
                 dups
@@ -819,7 +820,7 @@ impl ProfileStore {
             .collect_vec()
             .into_iter()
             .sum();
-        self.dedup_hits.fetch_add(deduped, Ordering::Relaxed);
+        self.dedup_hits.add(deduped);
         failures
     }
 
@@ -831,6 +832,126 @@ impl ProfileStore {
     /// Persistence counters (all-zero default for in-memory stores).
     pub fn persist_stats(&self) -> PersistStats {
         self.persist.get().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// Adopt every store counter into `registry` under the
+    /// `numa_store_` prefix: the memo-cache and ingest counters are
+    /// cloned handles of the hot-path storage, per-shard rows become
+    /// `{shard="N"}` labeled series, and persistence stats are closure
+    /// collectors over [`ProfileStore::persist_stats`] (they read the
+    /// persister's own accounting at scrape time).
+    pub fn register_metrics(self: &Arc<Self>, registry: &Registry) {
+        self.cache.register_metrics(registry);
+        registry.counter(
+            "numa_store_dedup_hits_total",
+            "Ingests dropped because an identical profile was already stored.",
+            &[],
+            self.dedup_hits.clone(),
+        );
+        registry.counter(
+            "numa_store_parse_failures_total",
+            "Ingest payloads rejected as unparseable.",
+            &[],
+            self.parse_failures.clone(),
+        );
+        for (i, shard) in self.shards.shards.iter().enumerate() {
+            let label = i.to_string();
+            registry.counter(
+                "numa_store_shard_ingests_total",
+                "Fresh profiles inserted, by shard.",
+                &[("shard", &label)],
+                shard.ingests.clone(),
+            );
+            registry.counter(
+                "numa_store_shard_read_contended_total",
+                "Shelf read-lock acquisitions that had to block, by shard.",
+                &[("shard", &label)],
+                shard.read_contended.clone(),
+            );
+            registry.counter(
+                "numa_store_shard_write_contended_total",
+                "Shelf write-lock acquisitions that had to block, by shard.",
+                &[("shard", &label)],
+                shard.write_contended.clone(),
+            );
+        }
+        let store = Arc::clone(self);
+        registry.gauge_fn(
+            "numa_store_profiles",
+            "Profiles resident in the store.",
+            &[],
+            move || store.len() as i64,
+        );
+        let store = Arc::clone(self);
+        registry.gauge_fn(
+            "numa_store_cached_artifacts",
+            "Artifacts resident in the memo cache.",
+            &[],
+            move || store.cache.len() as i64,
+        );
+        let store = Arc::clone(self);
+        registry.counter_fn(
+            "numa_store_wal_appends_total",
+            "Records appended to the WAL since startup.",
+            &[],
+            move || store.persist_stats().wal_appends,
+        );
+        let store = Arc::clone(self);
+        registry.counter_fn(
+            "numa_store_wal_group_commits_total",
+            "WAL group commits since startup.",
+            &[],
+            move || store.persist_stats().wal_group_commits,
+        );
+        let store = Arc::clone(self);
+        registry.gauge_fn(
+            "numa_store_wal_bytes",
+            "Current WAL size in bytes (header included).",
+            &[],
+            move || store.persist_stats().wal_bytes as i64,
+        );
+        let store = Arc::clone(self);
+        registry.counter_fn(
+            "numa_store_snapshots_written_total",
+            "Snapshot compactions performed since startup.",
+            &[],
+            move || store.persist_stats().snapshots_written,
+        );
+        let store = Arc::clone(self);
+        registry.counter_fn(
+            "numa_store_persist_io_errors_total",
+            "WAL append / compaction I/O failures.",
+            &[],
+            move || store.persist_stats().io_errors,
+        );
+        let store = Arc::clone(self);
+        registry.counter_fn(
+            "numa_store_snapshot_records_loaded",
+            "Records loaded from the snapshot at startup.",
+            &[],
+            move || store.persist_stats().snapshot_records_loaded,
+        );
+        let store = Arc::clone(self);
+        registry.counter_fn(
+            "numa_store_wal_records_replayed",
+            "Records replayed from the WAL at startup.",
+            &[],
+            move || store.persist_stats().wal_records_replayed,
+        );
+        let store = Arc::clone(self);
+        registry.counter_fn(
+            "numa_store_sessions_recovered_total",
+            "Streaming sessions recovered whole at startup.",
+            &[],
+            move || store.persist_stats().sessions_recovered,
+        );
+        let store = Arc::clone(self);
+        registry.counter_fn(
+            "numa_store_sessions_dropped_total",
+            "Streaming sessions dropped at startup (unsealed or corrupt).",
+            &[],
+            move || store.persist_stats().sessions_dropped,
+        );
     }
 
     /// Force a snapshot compaction now: write the whole corpus to the
@@ -865,7 +986,10 @@ impl ProfileStore {
                 wal::encode_bin_record(label, bytes, id.0, *json_len)
             })
             .collect();
-        p.append_all(records)
+        let started = std::time::Instant::now();
+        let results = p.append_all(records);
+        trace::note_wal_ack_us(started.elapsed().as_micros() as u64);
+        results
             .into_iter()
             .map(|r| {
                 r.map_err(|e| StoreError::Persist {
@@ -921,7 +1045,10 @@ impl ProfileStore {
             .entry(session)
             .or_default()
             .push(record.clone());
-        match p.append_all(vec![record]).pop() {
+        let started = std::time::Instant::now();
+        let appended = p.append_all(vec![record]).pop();
+        trace::note_wal_ack_us(started.elapsed().as_micros() as u64);
+        match appended {
             Some(Err(e)) => {
                 let mut log = self.session_log.lock();
                 if let Some(records) = log.get_mut(&session) {
@@ -1076,7 +1203,7 @@ impl ProfileStore {
         match NumaProfile::from_json(json) {
             Ok(profile) => self.ingest_profile(label, profile),
             Err(e) => {
-                self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                self.parse_failures.inc();
                 Err(StoreError::Parse {
                     label: label.to_string(),
                     message: e.to_string(),
@@ -1100,7 +1227,7 @@ impl ProfileStore {
         let view = match numa_codec::ProfileView::parse(bytes) {
             Ok(v) => v,
             Err(e) => {
-                self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                self.parse_failures.inc();
                 return Err(StoreError::Parse {
                     label: label.to_string(),
                     message: e.to_string(),
@@ -1114,7 +1241,7 @@ impl ProfileStore {
         let profile = match view.to_profile() {
             Ok(p) => p,
             Err(e) => {
-                self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                self.parse_failures.inc();
                 return Err(StoreError::Parse {
                     label: label.to_string(),
                     message: e.to_string(),
@@ -1195,7 +1322,7 @@ impl ProfileStore {
                     }
                 }
                 Err(rej) => {
-                    self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                    self.parse_failures.inc();
                     report.rejected.push(rej);
                 }
             }
@@ -1264,11 +1391,12 @@ impl ProfileStore {
     /// covers a hash-map probe, an insert, and a vec push.
     fn insert(&self, sp: Arc<StoredProfile>) -> bool {
         let seq = self.shards.seq.fetch_add(1, Ordering::Relaxed);
+        trace::note_shard((sp.id.0 as usize & self.shards.mask) as u32);
         let shard = self.shards.of(sp.id);
         let mut shelf = shard.write();
         if shelf.by_id.contains_key(&sp.id) {
             drop(shelf);
-            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            self.dedup_hits.inc();
             false
         } else {
             // XOR fold: the set hash must not depend on insertion
@@ -1280,7 +1408,7 @@ impl ProfileStore {
             shelf.by_id.insert(sp.id, slot);
             shelf.profiles.push((seq, sp));
             drop(shelf);
-            shard.ingests.fetch_add(1, Ordering::Relaxed);
+            shard.ingests.inc();
             true
         }
     }
@@ -1536,9 +1664,9 @@ impl ProfileStore {
             .iter()
             .map(|s| ShardStats {
                 profiles: s.read().profiles.len(),
-                ingests: s.ingests.load(Ordering::Relaxed),
-                read_contended: s.read_contended.load(Ordering::Relaxed),
-                write_contended: s.write_contended.load(Ordering::Relaxed),
+                ingests: s.ingests.get(),
+                read_contended: s.read_contended.get(),
+                write_contended: s.write_contended.get(),
             })
             .collect()
     }
@@ -1560,8 +1688,8 @@ impl ProfileStore {
             profiles,
             json_bytes,
             set_hash,
-            deduplicated: self.dedup_hits.load(Ordering::Relaxed),
-            parse_failures: self.parse_failures.load(Ordering::Relaxed),
+            deduplicated: self.dedup_hits.get(),
+            parse_failures: self.parse_failures.get(),
             cached_artifacts: self.cache.len(),
             cache: self.cache.stats(),
             persist: self.persist_stats(),
